@@ -1,0 +1,31 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one figure or table from the paper: it runs the
+sweep on the simulated machines, prints the series (and writes them under
+``results/``), asserts the paper's qualitative shape, and registers one
+representative configuration with pytest-benchmark for wall-clock tracking.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write one figure's text output under results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _save

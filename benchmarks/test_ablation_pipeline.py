@@ -1,0 +1,88 @@
+"""Design-choice ablations beyond the paper's figures.
+
+DESIGN.md calls out three SRUMMA scheduling/pipelining choices; each is
+benchmarked on/off here:
+
+- double-buffered nonblocking pipeline vs fully blocking gets (§3.1 step 4);
+- local-first task ordering (shared-memory tasks prime the pipeline,
+  §3.1 step 2);
+- the combination — everything off approximates a naive one-sided
+  implementation.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_matmul
+from repro.core import ScheduleOptions, SrummaOptions
+from repro.machines import IBM_SP, LINUX_MYRINET
+
+N = 2000
+CONFIGS = [
+    ("full", SrummaOptions(flavor="cluster")),
+    ("blocking", SrummaOptions(flavor="cluster", nonblocking=False)),
+    ("no-localfirst", SrummaOptions(
+        flavor="cluster", schedule=ScheduleOptions(local_first=False))),
+    ("naive", SrummaOptions(
+        flavor="cluster", nonblocking=False,
+        schedule=ScheduleOptions(diagonal_shift=False, local_first=False))),
+]
+
+
+@pytest.fixture(scope="module")
+def pipeline_rows():
+    rows = []
+    for spec, nranks in ((LINUX_MYRINET, 16), (IBM_SP, 64)):
+        vals = {name: run_matmul("srumma", spec, nranks, N,
+                                 options=opts).gflops
+                for name, opts in CONFIGS}
+        rows.append((spec.name, nranks,
+                     *(vals[name] for name, _ in CONFIGS)))
+    return rows
+
+
+def test_pipeline_table(pipeline_rows, save_result):
+    text = format_table(
+        ["platform", "CPUs", *(name for name, _ in CONFIGS)],
+        pipeline_rows,
+        title=f"Ablation — pipeline & ordering, N={N} (GFLOP/s)",
+    )
+    save_result("ablation_pipeline", text)
+
+
+def test_nonblocking_pipeline_beats_blocking(pipeline_rows):
+    for row in pipeline_rows:
+        platform, _, full, blocking = row[0], row[1], row[2], row[3]
+        assert full > blocking, platform
+
+
+def test_naive_is_worst(pipeline_rows):
+    for row in pipeline_rows:
+        naive = row[-1]
+        assert naive < row[2], row
+        assert naive < row[4], row
+
+
+def test_local_first_tradeoff(pipeline_rows):
+    """A measured finding this reproduction documents (EXPERIMENTS.md):
+
+    strict local-first ordering (§3.1 step 2) is neutral on the 2-way-node
+    Linux cluster, but on the 16-way-node IBM SP — where over half of each
+    rank's tasks are domain-local and the host-assisted gets are expensive —
+    bunching every remote get into the tail of the list concentrates NIC
+    contention and leaves nothing to overlap the gets with.  Interleaved
+    k-order ('no-localfirst') wins there.  The paper's prescription is kept
+    as the default; this ablation locks in the observed tradeoff."""
+    for row in pipeline_rows:
+        platform, _, full, _, no_localfirst, _ = row
+        if platform == "linux-myrinet":
+            assert no_localfirst <= full * 1.05, row
+        else:  # ibm-sp: interleaving wins in the comm-bound regime
+            assert no_localfirst >= full, row
+
+
+def test_pipeline_benchmark(benchmark, pipeline_rows, save_result):
+    test_pipeline_table(pipeline_rows, save_result)
+    benchmark.pedantic(
+        lambda: run_matmul("srumma", LINUX_MYRINET, 16, N,
+                           options=CONFIGS[0][1]).gflops,
+        rounds=3, iterations=1)

@@ -1,0 +1,61 @@
+"""Block-size study: the paper's 'optimum block sizes were chosen
+empirically for all matrix sizes and processor counts' (§4).
+
+Sweeps the pdgemm/SUMMA panel width on the Linux cluster and checks the
+expected bathtub shape: tiny panels drown in per-message costs and kernel
+inefficiency, huge panels lose pipelining (fewer steps to overlap), and the
+optimum sits in between.  Also verifies the harness default lands within
+25% of the empirical optimum.
+"""
+
+import pytest
+
+from repro.bench import default_nb, format_table, run_matmul
+from repro.machines import LINUX_MYRINET
+
+N = 2000
+P = 16
+NBS = (8, 16, 32, 64, 125, 250, 500, 1000)
+
+
+@pytest.fixture(scope="module")
+def blocksize_series():
+    return {nb: run_matmul("pdgemm", LINUX_MYRINET, P, N, nb=nb).gflops
+            for nb in NBS}
+
+
+def test_blocksize_table(blocksize_series, save_result):
+    best_nb = max(blocksize_series, key=blocksize_series.get)
+    rows = [(nb, gf, "  <- best" if nb == best_nb else "")
+            for nb, gf in blocksize_series.items()]
+    text = format_table(
+        ["nb", "pdgemm GF/s", ""],
+        rows,
+        title=f"pdgemm block-size sweep, N={N}, {P} CPUs, linux-myrinet",
+    )
+    save_result("blocksize_study", text)
+
+
+def test_tiny_panels_are_bad(blocksize_series):
+    best = max(blocksize_series.values())
+    assert blocksize_series[8] < 0.6 * best
+
+
+def test_optimum_is_interior(blocksize_series):
+    """The best nb is neither the smallest nor the largest tested."""
+    best_nb = max(blocksize_series, key=blocksize_series.get)
+    assert NBS[0] < best_nb < NBS[-1]
+
+
+def test_default_rule_is_near_optimal(blocksize_series):
+    best = max(blocksize_series.values())
+    auto = run_matmul("pdgemm", LINUX_MYRINET, P, N,
+                      nb=default_nb(N, P)).gflops
+    assert auto > 0.75 * best
+
+
+def test_blocksize_benchmark(benchmark, blocksize_series, save_result):
+    test_blocksize_table(blocksize_series, save_result)
+    benchmark.pedantic(
+        lambda: run_matmul("pdgemm", LINUX_MYRINET, P, N, nb=64).gflops,
+        rounds=3, iterations=1)

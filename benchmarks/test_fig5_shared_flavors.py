@@ -1,0 +1,82 @@
+"""Paper Fig. 5: direct-access vs copy-based shared-memory flavours.
+
+The paper compares the two §3.2 flavours for N=2000 on 16 processors of the
+Cray X1 and the SGI Altix, for C=AB and C=A^T B:
+
+- Cray X1: remote memory is NOT cacheable, so the copy-based flavour is
+  clearly faster;
+- SGI Altix: remote memory IS cacheable, so direct access wins (slightly at
+  16 CPUs, more at higher processor counts — also checked here).
+"""
+
+import pytest
+
+from repro.bench import format_table, run_matmul
+from repro.core import SrummaOptions
+from repro.machines import CRAY_X1, SGI_ALTIX
+
+N = 2000
+P = 16
+
+
+def _flavor_gflops(spec, flavor, transa):
+    point = run_matmul("srumma", spec, P, N, transa=transa,
+                       options=SrummaOptions(flavor=flavor))
+    return point.gflops
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    rows = []
+    for spec in (CRAY_X1, SGI_ALTIX):
+        for transa in (False, True):
+            case = "C=A^T B" if transa else "C=AB"
+            direct = _flavor_gflops(spec, "direct", transa)
+            copy = _flavor_gflops(spec, "copy", transa)
+            rows.append((spec.name, case, direct, copy, direct / copy))
+    return rows
+
+
+def test_fig5_table(fig5_rows, save_result):
+    text = format_table(
+        ["platform", "case", "direct GF/s", "copy GF/s", "direct/copy"],
+        fig5_rows,
+        title=f"Fig. 5 — shared-memory flavours, N={N}, {P} CPUs",
+    )
+    save_result("fig5_shared_flavors", text)
+
+
+def test_fig5_copy_wins_on_x1(fig5_rows):
+    """Paper: 'the copy-based version is faster ... on the Cray X1'."""
+    for platform, case, direct, copy, _ in fig5_rows:
+        if platform == "cray-x1":
+            assert copy > direct * 1.5, (platform, case)
+
+
+def test_fig5_direct_wins_on_altix(fig5_rows):
+    """Paper: direct access is 'somewhat slower' to copy on the X1 but the
+    direct version wins on the Altix."""
+    for platform, case, direct, copy, _ in fig5_rows:
+        if platform == "sgi-altix":
+            assert direct >= copy * 0.99, (platform, case)
+
+
+def test_fig5_altix_gap_grows_with_cpus():
+    """Paper: 'the gap ... actually increases for larger processor counts
+    on the Altix'."""
+    ratios = []
+    for nranks in (16, 64):
+        d = run_matmul("srumma", SGI_ALTIX, nranks, N,
+                       options=SrummaOptions(flavor="direct")).gflops
+        c = run_matmul("srumma", SGI_ALTIX, nranks, N,
+                       options=SrummaOptions(flavor="copy")).gflops
+        ratios.append(d / c)
+    assert ratios[1] > ratios[0]
+
+
+def test_fig5_benchmark(benchmark, fig5_rows, save_result):
+    # Regenerate the table under --benchmark-only too.
+    test_fig5_table(fig5_rows, save_result)
+    benchmark.pedantic(
+        lambda: _flavor_gflops(CRAY_X1, "copy", False),
+        rounds=3, iterations=1)

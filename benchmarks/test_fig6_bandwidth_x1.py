@@ -1,0 +1,67 @@
+"""Paper Fig. 6: bandwidth comparison on the Cray X1.
+
+The paper plots achieved bandwidth vs message size on the X1 for the
+protocols SRUMMA and pdgemm build on: direct shared-memory copies vs MPI
+send/receive.  Shared memory wins across the size range (it is 'the fastest
+communication protocol available on shared memory systems'), with MPI
+additionally burdened by per-message software costs that dominate small
+messages.
+"""
+
+import pytest
+
+from repro.bench import bandwidth_sweep, fmt_bytes, format_table
+from repro.machines import CRAY_X1
+
+SIZES = tuple(1 << s for s in range(10, 23))  # 1 KB .. 4 MB
+
+
+@pytest.fixture(scope="module")
+def fig6_series():
+    return {
+        "shmem": dict(bandwidth_sweep(CRAY_X1, "shmem", SIZES)),
+        "mpi": dict(bandwidth_sweep(CRAY_X1, "mpi", SIZES)),
+    }
+
+
+def test_fig6_table(fig6_series, save_result):
+    rows = [
+        (fmt_bytes(s),
+         fig6_series["shmem"][s] / 1e6,
+         fig6_series["mpi"][s] / 1e6)
+        for s in SIZES
+    ]
+    text = format_table(
+        ["msg size", "shmem MB/s", "MPI MB/s"],
+        rows,
+        title="Fig. 6 — bandwidth on the Cray X1",
+    )
+    save_result("fig6_bandwidth_x1", text)
+
+
+def test_fig6_shmem_beats_mpi_everywhere(fig6_series):
+    for s in SIZES:
+        assert fig6_series["shmem"][s] > fig6_series["mpi"][s], fmt_bytes(s)
+
+
+def test_fig6_mpi_small_message_penalty(fig6_series):
+    """Per-message software overhead crushes MPI at small sizes: the
+    shmem/MPI ratio is much larger at 1 KB than at 4 MB."""
+    ratio_small = fig6_series["shmem"][SIZES[0]] / fig6_series["mpi"][SIZES[0]]
+    ratio_large = fig6_series["shmem"][SIZES[-1]] / fig6_series["mpi"][SIZES[-1]]
+    assert ratio_small > 3 * ratio_large
+
+
+def test_fig6_bandwidth_approaches_hardware_limits(fig6_series):
+    """Large-message shmem bandwidth approaches the copy-stream rate."""
+    peak = fig6_series["shmem"][SIZES[-1]]
+    assert peak > 0.5 * CRAY_X1.memory.copy_bandwidth
+
+
+def test_fig6_benchmark(benchmark, fig6_series, save_result):
+    test_fig6_table(fig6_series, save_result)
+    from repro.bench import measure_bandwidth
+
+    benchmark.pedantic(
+        lambda: measure_bandwidth(CRAY_X1, "shmem", 1 << 20),
+        rounds=5, iterations=1)

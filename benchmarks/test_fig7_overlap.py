@@ -1,0 +1,84 @@
+"""Paper Fig. 7: potential communication/computation overlap vs message size.
+
+Measured on the two cluster platforms (IBM SP and Linux/Myrinet) for
+nonblocking ARMCI get vs nonblocking MPI:
+
+- ARMCI nonblocking get achieves ~99% overlap for medium and large
+  messages (the NIC, or the remote host, moves the data while the
+  initiator computes);
+- MPI overlap is high in the eager range but collapses once the library
+  switches to the rendezvous protocol (16 KB): without a progress thread
+  the transfer only advances inside MPI calls.
+"""
+
+import pytest
+
+from repro.bench import fmt_bytes, format_table, measure_overlap
+from repro.machines import IBM_SP, LINUX_MYRINET
+
+SIZES = tuple(1 << s for s in range(10, 23))  # 1 KB .. 4 MB
+EAGER = LINUX_MYRINET.network.eager_threshold
+
+
+@pytest.fixture(scope="module")
+def fig7_series():
+    out = {}
+    for spec in (IBM_SP, LINUX_MYRINET):
+        for proto in ("armci_get", "mpi"):
+            out[(spec.name, proto)] = {
+                s: measure_overlap(spec, proto, s) for s in SIZES
+            }
+    return out
+
+
+def test_fig7_table(fig7_series, save_result):
+    rows = []
+    for s in SIZES:
+        rows.append((
+            fmt_bytes(s),
+            fig7_series[("ibm-sp", "armci_get")][s],
+            fig7_series[("ibm-sp", "mpi")][s],
+            fig7_series[("linux-myrinet", "armci_get")][s],
+            fig7_series[("linux-myrinet", "mpi")][s],
+        ))
+    text = format_table(
+        ["msg size", "SP armci", "SP mpi", "linux armci", "linux mpi"],
+        rows,
+        title="Fig. 7 — potential overlap (fraction of comm hidden)",
+    )
+    save_result("fig7_overlap", text)
+
+
+@pytest.mark.parametrize("platform", ["ibm-sp", "linux-myrinet"])
+def test_fig7_armci_overlap_near_total_for_large_messages(fig7_series, platform):
+    """Paper: 'ARMCI non-blocking get offers almost 99% overlap for medium-
+    and larger-sized messages'."""
+    for s in SIZES:
+        if s >= 64 * 1024:
+            assert fig7_series[(platform, "armci_get")][s] > 0.9, fmt_bytes(s)
+
+
+@pytest.mark.parametrize("platform", ["ibm-sp", "linux-myrinet"])
+def test_fig7_mpi_cliff_at_rendezvous_threshold(fig7_series, platform):
+    """Paper: MPI overlap 'sharply decreases after a certain message size
+    (16Kb) as MPI switches to the Rendezvous protocol'."""
+    below = fig7_series[(platform, "mpi")][EAGER]          # last eager size
+    above = fig7_series[(platform, "mpi")][EAGER * 2]      # first rendezvous
+    assert below > 0.8, "eager overlap should be high"
+    assert above < 0.3, "rendezvous overlap should collapse"
+    assert below - above > 0.5, "the cliff must be sharp"
+
+
+@pytest.mark.parametrize("platform", ["ibm-sp", "linux-myrinet"])
+def test_fig7_armci_beats_mpi_in_rendezvous_range(fig7_series, platform):
+    for s in SIZES:
+        if s > EAGER:
+            assert (fig7_series[(platform, "armci_get")][s]
+                    > fig7_series[(platform, "mpi")][s] + 0.5), fmt_bytes(s)
+
+
+def test_fig7_benchmark(benchmark, fig7_series, save_result):
+    test_fig7_table(fig7_series, save_result)
+    benchmark.pedantic(
+        lambda: measure_overlap(LINUX_MYRINET, "armci_get", 1 << 18),
+        rounds=5, iterations=1)

@@ -1,0 +1,91 @@
+"""Paper Fig. 8: MPI vs ARMCI_Get bandwidth on the IBM SP and Myrinet.
+
+Three findings the series must reproduce:
+
+- RMA get beats MPI send/recv except in the short-message range (a get is
+  request+reply, so its startup latency is higher — §4.1);
+- on the IBM SP the crossover is pushed further out because AIX interrupt
+  processing makes LAPI get startup expensive, while on Myrinet the
+  zero-copy GM get wins from small sizes on;
+- MPI-2 MPI_Get (measured by the paper on the SP) trails both, burdened by
+  window-synchronisation round-trips and staging copies.
+"""
+
+import pytest
+
+from repro.bench import bandwidth_sweep, fmt_bytes, format_table
+from repro.machines import IBM_SP, LINUX_MYRINET
+
+SIZES = tuple(1 << s for s in range(8, 23))  # 256 B .. 4 MB
+
+
+@pytest.fixture(scope="module")
+def fig8_series():
+    out = {}
+    for spec in (IBM_SP, LINUX_MYRINET):
+        out[(spec.name, "armci_get")] = dict(bandwidth_sweep(spec, "armci_get", SIZES))
+        out[(spec.name, "mpi")] = dict(bandwidth_sweep(spec, "mpi", SIZES))
+    out[("ibm-sp", "mpi2_get")] = dict(bandwidth_sweep(IBM_SP, "mpi2_get", SIZES))
+    return out
+
+
+def test_fig8_table(fig8_series, save_result):
+    rows = []
+    for s in SIZES:
+        rows.append((
+            fmt_bytes(s),
+            fig8_series[("ibm-sp", "armci_get")][s] / 1e6,
+            fig8_series[("ibm-sp", "mpi")][s] / 1e6,
+            fig8_series[("ibm-sp", "mpi2_get")][s] / 1e6,
+            fig8_series[("linux-myrinet", "armci_get")][s] / 1e6,
+            fig8_series[("linux-myrinet", "mpi")][s] / 1e6,
+        ))
+    text = format_table(
+        ["msg size", "SP get", "SP mpi", "SP mpi2get",
+         "myri get", "myri mpi"],
+        rows,
+        title="Fig. 8 — get/send bandwidth (MB/s)",
+    )
+    save_result("fig8_get_bandwidth", text)
+
+
+@pytest.mark.parametrize("platform", ["ibm-sp", "linux-myrinet"])
+def test_fig8_get_wins_for_large_messages(fig8_series, platform):
+    for s in SIZES:
+        if s >= 1 << 20:
+            assert (fig8_series[(platform, "armci_get")][s]
+                    > fig8_series[(platform, "mpi")][s]), fmt_bytes(s)
+
+
+def test_fig8_mpi_wins_short_messages_on_sp(fig8_series):
+    """Request/reply + interrupt cost: get latency exceeds send/recv, so
+    MPI is ahead in the short-message range on the SP (§4.1)."""
+    smallest = SIZES[0]
+    assert (fig8_series[("ibm-sp", "mpi")][smallest]
+            > fig8_series[("ibm-sp", "armci_get")][smallest])
+
+
+def test_fig8_mpi2_get_is_worst_on_sp(fig8_series):
+    """Paper: 'we measured performance of MPI_Get (MPI-2) on the IBM SP and
+    found its performance to be relatively low'."""
+    for s in SIZES:
+        assert (fig8_series[("ibm-sp", "mpi2_get")][s]
+                <= fig8_series[("ibm-sp", "armci_get")][s] + 1e-9), fmt_bytes(s)
+        if s >= 1 << 12:
+            assert (fig8_series[("ibm-sp", "mpi2_get")][s]
+                    < fig8_series[("ibm-sp", "mpi")][s]), fmt_bytes(s)
+
+
+def test_fig8_large_message_bandwidth_near_wire_rate(fig8_series):
+    big = SIZES[-1]
+    assert (fig8_series[("linux-myrinet", "armci_get")][big]
+            > 0.8 * LINUX_MYRINET.network.bandwidth)
+
+
+def test_fig8_benchmark(benchmark, fig8_series, save_result):
+    test_fig8_table(fig8_series, save_result)
+    from repro.bench import measure_bandwidth
+
+    benchmark.pedantic(
+        lambda: measure_bandwidth(IBM_SP, "armci_get", 1 << 20),
+        rounds=5, iterations=1)

@@ -1,0 +1,103 @@
+"""§2.1 model validation: analytic T_par_rma vs the simulator.
+
+On the idealised machine (1 CPU per node, zero-copy network, flat kernel
+efficiency) the simulator should track the paper's eq. 1/eq. 3 closely:
+
+- blocking SRUMMA ~ eq. 1 = N^3 alpha / P + 2 N^2 t_w / sqrt(P) + 2 t_s sqrt(P)
+  (our kernel does 2 flops per multiply-add, folded into alpha);
+- nonblocking SRUMMA approaches the full-overlap limit of eq. 3;
+- efficiency grows with N at fixed P and the isoefficiency scaling
+  N^3 ~ P^1.5 holds efficiency roughly constant.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import format_table, run_matmul
+from repro.core import ScheduleOptions, SrummaOptions
+from repro.machines import IDEAL
+from repro.model import ModelParams, t_par_overlap, t_par_rma
+
+# alpha = seconds per flop (the simulator charges 2*m*n*k flops).
+PARAMS = ModelParams(
+    alpha=2.0 / (IDEAL.cpu.flops * IDEAL.cpu.peak_efficiency),
+    t_w=8.0 / IDEAL.network.bandwidth,
+    t_s=IDEAL.network.rma_latency,
+)
+
+BLOCKING = SrummaOptions(flavor="cluster", nonblocking=False,
+                         schedule=ScheduleOptions(diagonal_shift=False))
+NONBLOCKING = SrummaOptions(flavor="cluster", nonblocking=True)
+
+CASES = [(512, 4), (1024, 16), (2048, 16), (2048, 64)]
+
+
+@pytest.fixture(scope="module")
+def validation_rows():
+    rows = []
+    for n, p in CASES:
+        blocking = run_matmul("srumma", IDEAL, p, n, options=BLOCKING).elapsed
+        nonblock = run_matmul("srumma", IDEAL, p, n, options=NONBLOCKING).elapsed
+        model_blk = t_par_rma(n, p, PARAMS)
+        model_ovl = t_par_overlap(n, p, PARAMS, omega=0.0)
+        rows.append((n, p, blocking, model_blk, blocking / model_blk,
+                     nonblock, model_ovl, nonblock / model_ovl))
+    return rows
+
+
+def test_model_table(validation_rows, save_result):
+    text = format_table(
+        ["N", "P", "sim blk", "eq1", "blk/eq1",
+         "sim nb", "eq3(w=0)", "nb/eq3"],
+        validation_rows,
+        title="Model validation — simulated vs analytic seconds",
+    )
+    save_result("model_validation", text)
+
+
+def test_blocking_time_tracks_eq1(validation_rows):
+    """Within 25%: eq. 1 ignores kernel-efficiency curvature and per-block
+    latency aggregation, so exact agreement is not expected."""
+    for n, p, blocking, model_blk, ratio, *_ in validation_rows:
+        assert 0.75 < ratio < 1.25, (n, p, ratio)
+
+
+def test_nonblocking_time_tracks_full_overlap_limit(validation_rows):
+    for row in validation_rows:
+        n, p = row[0], row[1]
+        ratio = row[7]
+        assert 0.75 < ratio < 1.35, (n, p, ratio)
+
+
+def test_nonblocking_never_slower_than_blocking(validation_rows):
+    for row in validation_rows:
+        assert row[5] <= row[2] * 1.001, row
+
+
+def test_efficiency_grows_with_n():
+    p = 16
+    effs = []
+    for n in (256, 1024, 4096):
+        elapsed = run_matmul("srumma", IDEAL, p, n, options=BLOCKING).elapsed
+        t1 = PARAMS.alpha * n ** 3
+        effs.append(t1 / (p * elapsed))
+    assert effs[0] < effs[1] < effs[2]
+
+
+def test_isoefficiency_scaling_holds():
+    """Scale N^3 with P^1.5 (i.e. N with sqrt(P)): efficiency ~ constant."""
+    effs = []
+    for p in (4, 16, 64):
+        n = int(256 * math.sqrt(p))
+        elapsed = run_matmul("srumma", IDEAL, p, n, options=BLOCKING).elapsed
+        t1 = PARAMS.alpha * n ** 3
+        effs.append(t1 / (p * elapsed))
+    assert max(effs) - min(effs) < 0.12
+
+
+def test_model_benchmark(benchmark, validation_rows, save_result):
+    test_model_table(validation_rows, save_result)
+    benchmark.pedantic(
+        lambda: run_matmul("srumma", IDEAL, 16, 1024, options=BLOCKING).elapsed,
+        rounds=3, iterations=1)

@@ -1,0 +1,76 @@
+"""Strong scaling: SRUMMA 'scaled well when the number of processors and/or
+the problem size was increased, thus proving the algorithm is cost-optimal'
+(§4.2).
+
+Fixed N, growing P on two platforms: both algorithms must speed up with P,
+SRUMMA must hold higher parallel efficiency, and the efficiency loss from
+P=16 to P=128 must be moderate for SRUMMA (cost-optimality) while pdgemm
+degrades faster at small N (the §4.2 'performance degrades for smaller
+matrices on larger processor counts' remark applies to both, but SRUMMA
+less).
+"""
+
+import pytest
+
+from repro.bench import format_table, run_matmul
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+N = 2000
+RANKS = (16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def scaling_series():
+    out = {}
+    for spec in (LINUX_MYRINET, SGI_ALTIX):
+        for alg in ("srumma", "pdgemm"):
+            for p in RANKS:
+                out[(spec.name, alg, p)] = run_matmul(alg, spec, p, N).gflops
+    return out
+
+
+def test_scaling_table(scaling_series, save_result):
+    blocks = []
+    for platform in ("linux-myrinet", "sgi-altix"):
+        rows = []
+        for p in RANKS:
+            s = scaling_series[(platform, "srumma", p)]
+            d = scaling_series[(platform, "pdgemm", p)]
+            rows.append((p, s, d, s / d))
+        blocks.append(format_table(
+            ["CPUs", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
+            rows, title=f"strong scaling, N={N}, {platform}"))
+    save_result("scaling", "\n".join(blocks))
+
+
+def test_both_algorithms_speed_up_with_p(scaling_series):
+    for platform in ("linux-myrinet", "sgi-altix"):
+        for alg in ("srumma", "pdgemm"):
+            series = [scaling_series[(platform, alg, p)] for p in RANKS]
+            assert all(b > a for a, b in zip(series, series[1:])), (
+                platform, alg, series)
+
+
+def test_srumma_wins_at_every_p(scaling_series):
+    for platform in ("linux-myrinet", "sgi-altix"):
+        for p in RANKS:
+            assert (scaling_series[(platform, "srumma", p)]
+                    > scaling_series[(platform, "pdgemm", p)]), (platform, p)
+
+
+def test_srumma_efficiency_holds_up_better(scaling_series):
+    """Parallel efficiency from 16 -> 128 CPUs: SRUMMA retains more."""
+    for platform in ("linux-myrinet", "sgi-altix"):
+        def retention(alg):
+            g16 = scaling_series[(platform, alg, 16)]
+            g128 = scaling_series[(platform, alg, 128)]
+            return (g128 / 128) / (g16 / 16)
+
+        assert retention("srumma") > retention("pdgemm") * 0.95, platform
+
+
+def test_scaling_benchmark(benchmark, scaling_series, save_result):
+    test_scaling_table(scaling_series, save_result)
+    benchmark.pedantic(
+        lambda: run_matmul("srumma", SGI_ALTIX, 64, N).gflops,
+        rounds=3, iterations=1)

@@ -1,0 +1,89 @@
+"""Paper Table 1: SRUMMA best cases vs pdgemm.
+
+The nine configurations of Table 1, each run for SRUMMA and the pdgemm
+stand-in, with the paper's reported GFLOP/s next to ours.  Absolute numbers
+are not expected to match (our substrate is a simulator); the asserted shape
+is: SRUMMA wins every row, and the advantage ordering (shared-memory
+platforms >> clusters) holds.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_matmul
+from repro.machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
+
+# (m, n, k, CPUs, case, platform spec, paper SRUMMA GF, paper pdgemm GF)
+TABLE1 = [
+    (4000, 4000, 4000, 128, "C=AB", SGI_ALTIX, 384.0, 33.9),
+    (2000, 2000, 2000, 128, "C=AB", CRAY_X1, 922.0, 128.0),
+    (12000, 12000, 12000, 128, "C=AB", LINUX_MYRINET, 323.2, 138.6),
+    (8000, 8000, 8000, 256, "C=AB", IBM_SP, 223.0, 186.0),
+    (600, 600, 600, 128, "C=A^T B^T", LINUX_MYRINET, 16.64, 6.4),
+    (16000, 16000, 16000, 128, "C=A^T B", IBM_SP, 108.9, 77.4),
+    (4000, 4000, 4000, 128, "C=A^T B^T", SGI_ALTIX, 369.0, 24.3),
+    (4000, 4000, 1000, 128, "rect C=AB", LINUX_MYRINET, 160.0, 107.5),
+    (1000, 1000, 2000, 64, "rect C=AB", SGI_ALTIX, 288.0, 17.28),
+]
+
+
+def _flags(case):
+    return ("A^T" in case, "B^T" in case)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    rows = []
+    for m, n, k, cpus, case, spec, paper_sr, paper_pd in TABLE1:
+        transa, transb = _flags(case)
+        sr = run_matmul("srumma", spec, cpus, m, n, k,
+                        transa=transa, transb=transb).gflops
+        pd = run_matmul("pdgemm", spec, cpus, m, n, k,
+                        transa=transa, transb=transb).gflops
+        rows.append((f"{m}x{n}x{k}", cpus, case, spec.name,
+                     sr, pd, sr / pd, paper_sr, paper_pd, paper_sr / paper_pd))
+    return rows
+
+
+def test_table1(table1_rows, save_result):
+    text = format_table(
+        ["size", "CPUs", "case", "platform",
+         "SRUMMA", "pdgemm", "ratio", "paper SR", "paper PD", "paper ratio"],
+        table1_rows,
+        title="Table 1 — best cases (GFLOP/s, measured vs paper)",
+    )
+    save_result("table1_best_cases", text)
+
+
+def test_table1_srumma_wins_every_row(table1_rows):
+    for row in table1_rows:
+        assert row[4] > row[5], row
+
+
+def test_table1_shared_memory_rows_have_larger_advantage(table1_rows):
+    """Altix/X1 rows should show a larger SRUMMA/pdgemm ratio than the
+    cluster NN rows (the paper's ratios: 11.3x/7.2x vs 2.3x/1.2x)."""
+    shared = [r[6] for r in table1_rows if r[3] in ("sgi-altix", "cray-x1")]
+    cluster_nn = [r[6] for r in table1_rows
+                  if r[3] in ("linux-myrinet", "ibm-sp") and r[2] == "C=AB"]
+    assert min(shared) > 0.9 * max(cluster_nn)
+    assert (sum(shared) / len(shared)) > (sum(cluster_nn) / len(cluster_nn))
+
+
+def test_table1_transpose_hurts_pdgemm_more(table1_rows):
+    """Altix 4000^3: the pdgemm T^T row trails its NN row (paper: 24.3 vs
+    33.9 GF/s), while SRUMMA's penalty is milder (369 vs 384)."""
+    nn = next(r for r in table1_rows
+              if r[3] == "sgi-altix" and r[2] == "C=AB" and r[0].startswith("4000"))
+    tt = next(r for r in table1_rows
+              if r[3] == "sgi-altix" and r[2] == "C=A^T B^T")
+    assert tt[5] < nn[5]  # pdgemm slower with transposes
+    sr_drop = (nn[4] - tt[4]) / nn[4]
+    pd_drop = (nn[5] - tt[5]) / nn[5]
+    assert pd_drop > sr_drop
+
+
+def test_table1_benchmark(benchmark, table1_rows, save_result):
+    test_table1(table1_rows, save_result)
+    benchmark.pedantic(
+        lambda: run_matmul("srumma", SGI_ALTIX, 64, 1000, 1000, 2000).gflops,
+        rounds=3, iterations=1)

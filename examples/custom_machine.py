@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Model your own machine and explore SRUMMA's sensitivity to it.
+
+Defines a hypothetical modern-ish cluster (8-way nodes, fast fat-tree
+fabric), runs SRUMMA and pdgemm on it, then sweeps one knob at a time —
+network bandwidth, latency, zero-copy support — to see which the algorithm
+actually cares about.
+
+    python examples/custom_machine.py
+"""
+
+from repro.bench import format_table, run_matmul
+from repro.machines import CpuSpec, MachineSpec, MemorySpec, NetworkSpec
+
+GB = 1e9
+MB = 1e6
+
+MY_CLUSTER = MachineSpec(
+    name="my-cluster",
+    description="hypothetical: 8-way nodes, 10 GB/s fabric, zero-copy RDMA",
+    cpus_per_node=8,
+    cpu=CpuSpec(flops=20 * GB, peak_efficiency=0.85, small_block_knee=32),
+    network=NetworkSpec(
+        latency=2e-6,
+        bandwidth=10 * GB,
+        rma_latency=3e-6,
+        zero_copy=True,
+        eager_threshold=16 * 1024,
+        mpi_overhead=1e-6,
+    ),
+    memory=MemorySpec(copy_bandwidth=8 * GB, node_bandwidth=40 * GB),
+    shared_memory_scope="node",
+)
+
+
+def headline() -> None:
+    rows = []
+    for n in (1000, 4000, 8000):
+        sr = run_matmul("srumma", MY_CLUSTER, 64, n)
+        pd = run_matmul("pdgemm", MY_CLUSTER, 64, n)
+        rows.append((n, sr.gflops, pd.gflops, sr.gflops / pd.gflops))
+    print(format_table(
+        ["N", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
+        rows, title=f"{MY_CLUSTER.name}: {MY_CLUSTER.description}"))
+
+
+def knob_sweep() -> None:
+    n, nranks = 4000, 64
+    base = run_matmul("srumma", MY_CLUSTER, nranks, n).gflops
+    rows = [("baseline", base, 1.0)]
+    for label, spec in [
+        ("bandwidth / 4", MY_CLUSTER.with_network(bandwidth=2.5 * GB)),
+        ("latency x 10", MY_CLUSTER.with_network(latency=20e-6,
+                                                 rma_latency=30e-6)),
+        ("no zero-copy", MY_CLUSTER.with_network(zero_copy=False,
+                                                 host_copy_bandwidth=4 * GB)),
+        ("2-way nodes", MY_CLUSTER.with_overrides(cpus_per_node=2)),
+        ("slower dgemm /2", MY_CLUSTER.with_cpu(flops=10 * GB)),
+    ]:
+        g = run_matmul("srumma", spec, nranks, n).gflops
+        rows.append((label, g, g / base))
+    print(format_table(
+        ["knob", "SRUMMA GF/s", "vs baseline"],
+        rows, title=f"one-knob sensitivity at N={n}, {nranks} CPUs"))
+    print("Reading: with a fast fabric the kernel speed dominates; degrade")
+    print("the network enough and the overlap machinery starts to matter.")
+
+
+if __name__ == "__main__":
+    headline()
+    knob_sweep()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Why asynchrony matters on commodity clusters (paper §2).
+
+The paper argues SRUMMA suits machines where "computational threads share
+a CPU with other processes and system daemons ... because synchronization
+amplifies performance degradations".  This example injects per-CPU daemon
+bursts on the simulated Linux cluster and compares how SRUMMA (one-sided,
+no coordination) and Cannon (lock-step shifts) degrade.
+
+    python examples/daemon_noise.py
+"""
+
+from repro.bench import format_table, run_matmul
+from repro.machines import LINUX_MYRINET
+from repro.sim import InterferencePattern
+
+N = 2000
+P = 64
+LOADS = (0.0, 0.01, 0.02, 0.05)
+
+
+def main() -> None:
+    base = {}
+    rows = []
+    for load in LOADS:
+        pattern = (InterferencePattern(load=load, mean_burst=5e-3, seed=3)
+                   if load else None)
+        row = [f"{load:.0%}"]
+        for alg in ("srumma", "cannon"):
+            t = run_matmul(alg, LINUX_MYRINET, P, N,
+                           interference=pattern).elapsed
+            if load == 0.0:
+                base[alg] = t
+            row.extend([t * 1e3, t / base[alg]])
+        rows.append(row)
+
+    print(format_table(
+        ["daemon load", "srumma ms", "slowdown", "cannon ms", "slowdown"],
+        rows,
+        title=f"daemon interference, N={N}, {P} CPUs, linux-myrinet"))
+    print("Reading: every burst steals the same CPU share from both")
+    print("algorithms, but Cannon's synchronized shift rounds each wait for")
+    print("that round's unluckiest rank — variance, not mean, sets its")
+    print("critical path.  SRUMMA's one-sided pipeline only absorbs each")
+    print("rank's own share.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A Global Arrays-style application: subspace power iteration.
+
+SRUMMA shipped as the ``ga_dgemm`` of the Global Arrays toolkit; this
+example writes the kind of code GA users write — a block power iteration
+computing the dominant invariant subspace of a symmetric matrix, where the
+heavy lifting is repeated distributed matrix multiplication:
+
+    V <- normalize(M @ V)     until the Rayleigh quotient settles.
+
+Everything runs on the simulated 64-CPU SGI Altix: ga_dgemm (SRUMMA inside),
+ga_dot / ga_norm_inf reductions, ga_scale, ga_copy.
+
+    python examples/ga_application.py
+"""
+
+import numpy as np
+
+from repro.comm import run_parallel
+from repro.distarray import (
+    GlobalArray,
+    ga_copy,
+    ga_dgemm,
+    ga_dot,
+    ga_scale,
+)
+from repro.machines import SGI_ALTIX
+
+N = 256          # matrix order
+BLOCK = 16       # subspace width
+ITERATIONS = 8
+NRANKS = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # Symmetric matrix with a known dominant eigenvalue.
+    q, _ = np.linalg.qr(rng.standard_normal((N, N)))
+    eigs = np.linspace(1.0, 10.0, N)
+    eigs[-1] = 20.0  # a well-separated dominant eigenvalue
+    m_ref = (q * eigs) @ q.T
+    v_ref = rng.standard_normal((N, BLOCK))
+
+    rayleigh_history = []
+
+    def prog(ctx):
+        m = GlobalArray.create(ctx, "M", N, N)
+        v = GlobalArray.create(ctx, "V", N, BLOCK)
+        w = GlobalArray.create(ctx, "W", N, BLOCK)
+        m.load(m_ref)
+        v.load(v_ref)
+        yield from ctx.mpi.barrier()
+
+        for it in range(ITERATIONS):
+            # W = M @ V   (ga_dgemm -> SRUMMA)
+            yield from ga_dgemm(ctx, False, False, 1.0, m, v, 0.0, w)
+            yield from ctx.mpi.barrier()
+            # Rayleigh estimate <V, W> / <V, V> and normalisation by |W|.
+            vw = yield from ga_dot(ctx, v, w)
+            vv = yield from ga_dot(ctx, v, v)
+            ww = yield from ga_dot(ctx, w, w)
+            yield from ga_scale(ctx, w, 1.0 / np.sqrt(ww))
+            yield from ctx.mpi.barrier()
+            yield from ga_copy(ctx, w, v)
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                rayleigh_history.append(vw / vv)
+        return ctx.now
+
+    run_parallel(SGI_ALTIX, NRANKS, prog)
+
+    print(f"block power iteration, N={N}, subspace={BLOCK}, "
+          f"{NRANKS} CPUs on sgi-altix\n")
+    print("iter   Rayleigh quotient estimate")
+    for i, r in enumerate(rayleigh_history):
+        print(f"  {i:2d}   {r:12.6f}")
+    dominant = eigs[-1]
+    print(f"\ntrue dominant eigenvalue : {dominant:.6f}")
+    print(f"final estimate           : {rayleigh_history[-1]:.6f}")
+    err = abs(rayleigh_history[-1] - dominant) / dominant
+    print(f"relative error           : {err:.2%} "
+          f"(subspace iteration converges toward the top eigenvalue)")
+    assert rayleigh_history[-1] > eigs[-2], "should exceed the 2nd eigenvalue"
+
+
+if __name__ == "__main__":
+    main()

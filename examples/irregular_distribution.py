@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""SRUMMA on an irregular (non-uniform) block distribution.
+
+The paper calls the algorithm "more general" than the shift-based
+classics: one-sided gets need no matching send schedule, so nothing breaks
+when blocks have unequal sizes.  That matters in practice — Global Arrays
+applications like NWChem distribute matrices along basis-function shell
+boundaries, not even cuts.  Cannon's algorithm structurally cannot do this
+(its shifts require every block to have the same shape).
+
+This example multiplies matrices cut at deliberately uneven boundaries,
+verifies the result, and reports the per-rank work imbalance the
+distribution created.
+
+    python examples/irregular_distribution.py
+"""
+
+import numpy as np
+
+from repro.comm import run_parallel
+from repro.core.srumma import srumma_rank
+from repro.distarray import GlobalArray, IrregularBlock2D
+from repro.machines import LINUX_MYRINET
+
+N = 240
+# Uneven cuts mimicking shell-block structure: a few big blocks, many small.
+ROW_EDGES = (0, 90, 130, 150, 240)
+COL_EDGES = (0, 60, 180, 210, 240)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    a_ref = rng.standard_normal((N, N))
+    b_ref = rng.standard_normal((N, N))
+    dist = IrregularBlock2D(N, N, ROW_EDGES, COL_EDGES)
+    holder = {}
+
+    def prog(ctx):
+        ga_a = GlobalArray.create(ctx, "A", N, N, dist=dist)
+        ga_b = GlobalArray.create(ctx, "B", N, N, dist=dist)
+        ga_c = GlobalArray.create(ctx, "C", N, N, dist=dist)
+        ga_a.load(a_ref)
+        ga_b.load(b_ref)
+        holder["dist"] = ga_c.dist
+        yield from ctx.mpi.barrier()
+        stats = yield from srumma_rank(ctx, ga_a, ga_b, ga_c, beta=0.0)
+        return stats
+
+    run = run_parallel(LINUX_MYRINET, dist.nranks, prog)
+    c = GlobalArray.assemble(run.armci, "C", holder["dist"])
+    err = float(np.max(np.abs(c - a_ref @ b_ref)))
+
+    print(f"irregular SRUMMA: N={N} on a {dist.p}x{dist.q} grid, "
+          f"{dist.nranks} CPUs ({LINUX_MYRINET.name})")
+    print(f"row cuts {ROW_EDGES}, col cuts {COL_EDGES}")
+    print(f"max |C - numpy| = {err:.2e} (verified)\n")
+
+    print("per-rank block shapes and work:")
+    flops = [s.flops for s in run.results]
+    for rank, s in enumerate(run.results):
+        pi, pj = dist.coords_of(rank)
+        shape = dist.block_shape(pi, pj)
+        bar = "#" * int(40 * s.flops / max(flops))
+        print(f"  rank {rank:2d} C block {shape[0]:3d}x{shape[1]:3d} "
+              f"{s.flops / 1e6:7.2f} Mflop |{bar}")
+    imbalance = max(flops) / (sum(flops) / len(flops))
+    print(f"\nload imbalance (max/mean): {imbalance:.2f}x — the owner-computes")
+    print("rule inherits whatever imbalance the distribution carries, but")
+    print("correctness and the one-sided pipeline are unaffected; Cannon's")
+    print("shift pattern could not run on these unequal blocks at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""SRUMMA vs pdgemm across the paper's four platforms (a mini Fig. 10).
+
+Sweeps square matrix sizes on simulated models of the Linux/Myrinet
+cluster, IBM SP, Cray X1, and SGI Altix, comparing SRUMMA against the
+ScaLAPACK pdgemm stand-in.  Uses synthetic payload (identical schedule, no
+real data) so the larger sizes run fast.
+
+    python examples/platform_comparison.py
+"""
+
+from repro.bench import format_table, run_matmul
+from repro.machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
+
+SIZES = (600, 1000, 2000, 4000)
+NRANKS = 64
+
+
+def main() -> None:
+    for spec in (LINUX_MYRINET, IBM_SP, CRAY_X1, SGI_ALTIX):
+        rows = []
+        for n in SIZES:
+            sr = run_matmul("srumma", spec, NRANKS, n)
+            pd = run_matmul("pdgemm", spec, NRANKS, n)
+            rows.append((n, sr.gflops, pd.gflops, sr.gflops / pd.gflops))
+        print(format_table(
+            ["N", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
+            rows,
+            title=f"{spec.name} ({NRANKS} CPUs) — {spec.description}",
+        ))
+
+    print("Shape to notice (paper §4): SRUMMA wins everywhere; the gap is")
+    print("largest on the shared-memory machines and at small matrix sizes,")
+    print("where pdgemm's per-message MPI costs dominate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: multiply two distributed matrices with SRUMMA.
+
+Runs C = A @ B on a simulated 16-CPU Linux/Myrinet cluster (8 dual-CPU
+nodes), verifies the result against numpy, and shows where the virtual time
+went.
+
+    python examples/quickstart.py
+"""
+
+from repro import SrummaOptions, srumma_multiply
+from repro.machines import LINUX_MYRINET
+
+
+def main() -> None:
+    print("SRUMMA quickstart: C = A @ B, N=512, 16 CPUs on", LINUX_MYRINET.name)
+    print(f"  ({LINUX_MYRINET.description})\n")
+
+    res = srumma_multiply(
+        LINUX_MYRINET,
+        nranks=16,
+        m=512, n=512, k=512,
+        options=SrummaOptions(),  # the paper's defaults: nonblocking pipeline,
+                                  # diagonal shift, local-first ordering
+    )
+
+    print(f"process grid      : {res.grid[0]} x {res.grid[1]}")
+    print(f"virtual elapsed   : {res.elapsed * 1e3:.3f} ms")
+    print(f"aggregate rate    : {res.gflops:.1f} GFLOP/s")
+    print(f"max |C - numpy|   : {res.max_error:.2e}  (verified)")
+
+    tasks = sum(s.tasks for s in res.stats)
+    local = sum(s.local_tasks for s in res.stats)
+    gets = sum(s.remote_gets for s in res.stats)
+    mb = sum(s.bytes_fetched for s in res.stats) / 1e6
+    print(f"\nblock tasks       : {tasks} total, {local} inside shared-memory "
+          f"domains (no network)")
+    print(f"remote RMA gets   : {gets} nonblocking gets moving {mb:.1f} MB")
+
+    tr = res.run.tracer
+    compute = tr.total("compute")
+    wait = tr.total("comm_wait")
+    print(f"\ntime accounting (all ranks):")
+    print(f"  compute         : {compute * 1e3:9.3f} ms")
+    print(f"  comm wait       : {wait * 1e3:9.3f} ms "
+          f"({100 * wait / max(compute, 1e-12):.1f}% of compute — the "
+          f"nonblocking pipeline hides the rest)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: this environment's setuptools lacks PEP 660 editable-install
+support (no `wheel`), so `pip install -e .` falls back to `setup.py develop`
+via this file. Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

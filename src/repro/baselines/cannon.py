@@ -1,0 +1,191 @@
+"""Cannon's algorithm — the message-passing reference point (paper §2).
+
+Classic 1969 formulation on a square ``s x s`` process grid:
+
+1. *Skew*: block ``A_ij`` shifts left by ``i`` positions, ``B_ij`` up by
+   ``j`` positions (so every rank starts holding a matching pair).
+2. ``s`` compute-shift rounds: multiply the held blocks into ``C_ij``, then
+   shift A one step left and B one step up (ring ``sendrecv``).
+
+Every shift is sender-receiver synchronised — the coordination SRUMMA's
+one-sided gets eliminate (§2: "unlike Cannon's algorithm, where skewed
+blocks ... are shifted using message-passing to the logically neighboring
+processors").
+
+Non-divisible dimensions are handled by padding each block to the nominal
+``ceil`` size with zeros (padded products contribute nothing); this is also
+what keeps all shifted blocks the same shape.  Square grids only —
+rectangular grids require the generalised (BMR) variant, which the paper
+does not use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..comm.base import RankContext
+from ..distarray.distribution import Block2D
+from ..machines.spec import MachineSpec
+
+__all__ = ["cannon_rank", "cannon_multiply", "CannonResult"]
+
+
+@dataclass
+class CannonResult:
+    """Outcome of :func:`cannon_multiply` (mirrors MultiplyResult)."""
+
+    elapsed: float
+    gflops: float
+    m: int
+    n: int
+    k: int
+    nranks: int
+    grid: tuple[int, int]
+    run: object
+    c: Optional[np.ndarray] = None
+    max_error: Optional[float] = None
+
+
+def cannon_rank(ctx: RankContext, s: int, m: int, n: int, k: int,
+                a_block: Optional[np.ndarray], b_block: Optional[np.ndarray],
+                c_block: Optional[np.ndarray]) -> Generator:
+    """Per-rank Cannon on an ``s x s`` grid.
+
+    ``a_block``/``b_block`` are this rank's (padded) blocks; ``c_block``
+    accumulates the result.  Pass None blocks for a synthetic run.
+    """
+    if ctx.rank >= s * s:
+        return None  # idle rank outside the grid
+    i, j = divmod(ctx.rank, s)
+    real = a_block is not None
+    bm = -(-m // s)  # padded block sizes
+    bk = -(-k // s)
+    bn = -(-n // s)
+    a_bytes = bm * bk * 8.0
+    b_bytes = bk * bn * 8.0
+
+    def grid_rank(gi: int, gj: int) -> int:
+        return (gi % s) * s + (gj % s)
+
+    a_cur = a_block
+    b_cur = b_block
+
+    def shift(a_steps: int, b_steps: int, tag: int):
+        """Shift A left by a_steps and B up by b_steps (generators)."""
+        nonlocal a_cur, b_cur
+        if a_steps % s:
+            dst = grid_rank(i, j - a_steps)
+            src = grid_rank(i, j + a_steps)
+            if real:
+                a_new = np.empty_like(a_cur)
+                yield from ctx.mpi.sendrecv(dst, a_cur, src, a_new,
+                                            send_tag=tag, recv_tag=tag)
+                a_cur = a_new
+            else:
+                yield from ctx.mpi.sendrecv(dst, None, src, None,
+                                            send_tag=tag, recv_tag=tag,
+                                            nbytes=a_bytes)
+        if b_steps % s:
+            dst = grid_rank(i - b_steps, j)
+            src = grid_rank(i + b_steps, j)
+            if real:
+                b_new = np.empty_like(b_cur)
+                yield from ctx.mpi.sendrecv(dst, b_cur, src, b_new,
+                                            send_tag=tag + 1, recv_tag=tag + 1)
+                b_cur = b_new
+            else:
+                yield from ctx.mpi.sendrecv(dst, None, src, None,
+                                            send_tag=tag + 1, recv_tag=tag + 1,
+                                            nbytes=b_bytes)
+
+    # Initial skew: A_ij left by i, B_ij up by j.
+    yield from shift(i, j, tag=10)
+
+    for step in range(s):
+        if real:
+            yield from ctx.dgemm(a_cur, b_cur, c_block)
+        else:
+            yield from ctx.dgemm_flops(bm, bn, bk)
+        if step < s - 1:
+            yield from shift(1, 1, tag=100 + 2 * step)
+
+    # Un-skew so blocks return home (keeps A/B logically unchanged).
+    yield from shift(-i, -j, tag=20)
+    return None
+
+
+def cannon_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
+                    s: Optional[int] = None, payload: str = "real",
+                    verify: bool = True, seed: int = 0,
+                    interference=None) -> CannonResult:
+    """Run ``C = A @ B`` with Cannon's algorithm on a simulated machine.
+
+    ``s`` is the grid side; defaults to ``floor(sqrt(nranks))`` (ranks beyond
+    ``s*s`` idle).  Only the untransposed case is supported.
+    """
+    import math
+
+    from ..comm.base import run_parallel
+
+    if payload not in ("real", "synthetic"):
+        raise ValueError(f"payload must be 'real' or 'synthetic', not {payload!r}")
+    if s is None:
+        s = int(math.isqrt(nranks))
+    if s * s > nranks:
+        raise ValueError(f"grid {s}x{s} needs more than {nranks} ranks")
+    real = payload == "real"
+
+    bm = -(-m // s)
+    bk = -(-k // s)
+    bn = -(-n // s)
+
+    if real:
+        rng = np.random.default_rng(seed)
+        a_ref = rng.standard_normal((m, k))
+        b_ref = rng.standard_normal((k, n))
+        # Padded global matrices so every block has the nominal shape.
+        a_pad = np.zeros((bm * s, bk * s))
+        a_pad[:m, :k] = a_ref
+        b_pad = np.zeros((bk * s, bn * s))
+        b_pad[:k, :n] = b_ref
+
+    c_blocks: dict[int, np.ndarray] = {}
+    spans: dict[int, tuple[float, float]] = {}
+
+    def rank_fn(ctx):
+        if real and ctx.rank < s * s:
+            i, j = divmod(ctx.rank, s)
+            a_blk = a_pad[i * bm:(i + 1) * bm, j * bk:(j + 1) * bk].copy()
+            b_blk = b_pad[i * bk:(i + 1) * bk, j * bn:(j + 1) * bn].copy()
+            c_blk = np.zeros((bm, bn))
+            c_blocks[ctx.rank] = c_blk
+        else:
+            a_blk = b_blk = c_blk = None
+        yield from ctx.mpi.barrier()
+        t0 = ctx.now
+        yield from cannon_rank(ctx, s, m, n, k, a_blk, b_blk, c_blk)
+        spans[ctx.rank] = (t0, ctx.now)
+
+    run = run_parallel(spec, nranks, rank_fn, interference=interference)
+    elapsed = (max(sp[1] for sp in spans.values())
+               - min(sp[0] for sp in spans.values()))
+    gflops = 2.0 * m * n * k / elapsed / 1e9 if elapsed > 0 else float("inf")
+    result = CannonResult(elapsed=elapsed, gflops=gflops, m=m, n=n, k=k,
+                          nranks=nranks, grid=(s, s), run=run)
+    if real:
+        c_pad = np.zeros((bm * s, bn * s))
+        for rank, blk in c_blocks.items():
+            i, j = divmod(rank, s)
+            c_pad[i * bm:(i + 1) * bm, j * bn:(j + 1) * bn] = blk
+        result.c = c_pad[:m, :n]
+        if verify:
+            expected = a_ref @ b_ref
+            result.max_error = float(np.max(np.abs(result.c - expected)))
+            tol = 1e-8 * max(1, k)
+            if result.max_error > tol:
+                raise AssertionError(
+                    f"Cannon result wrong: max|err|={result.max_error:.3e}")
+    return result

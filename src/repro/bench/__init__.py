@@ -1,0 +1,19 @@
+"""Benchmark harness: experiment drivers, microbenchmarks, reporting."""
+
+from .microbench import (
+    DEFAULT_SIZES,
+    PROTOCOLS,
+    bandwidth_sweep,
+    measure_bandwidth,
+    measure_overlap,
+    overlap_sweep,
+)
+from .report import fmt_bytes, format_table, paper_vs_measured, print_table, to_csv
+from .runner import ALGORITHMS, MatmulPoint, default_nb, run_matmul, sweep
+
+__all__ = [
+    "DEFAULT_SIZES", "PROTOCOLS", "bandwidth_sweep", "measure_bandwidth",
+    "measure_overlap", "overlap_sweep",
+    "fmt_bytes", "format_table", "paper_vs_measured", "print_table", "to_csv",
+    "ALGORITHMS", "MatmulPoint", "default_nb", "run_matmul", "sweep",
+]

@@ -1,0 +1,175 @@
+"""Registry of the paper's experiments, runnable from the CLI.
+
+``python -m repro reproduce --experiment fig7`` regenerates one figure's
+series at *quick* scale (reduced sweeps, minutes -> seconds); the benchmark
+suite under ``benchmarks/`` remains the full-scale, shape-asserting source
+of record.  Each entry returns ``(title, headers, rows)`` ready for
+:func:`repro.bench.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.srumma import SrummaOptions
+from ..machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
+from .microbench import bandwidth_sweep, measure_overlap
+from .report import fmt_bytes
+from .runner import run_matmul
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+Result = tuple[str, list[str], list[list]]
+
+
+def _fig5(full: bool) -> Result:
+    rows = []
+    for spec in (CRAY_X1, SGI_ALTIX):
+        for transa in ((False, True) if full else (False,)):
+            case = "C=A^T B" if transa else "C=AB"
+            d = run_matmul("srumma", spec, 16, 2000, transa=transa,
+                           options=SrummaOptions(flavor="direct")).gflops
+            c = run_matmul("srumma", spec, 16, 2000, transa=transa,
+                           options=SrummaOptions(flavor="copy")).gflops
+            rows.append([spec.name, case, d, c, d / c])
+    return ("Fig. 5 — direct vs copy flavour, N=2000, 16 CPUs",
+            ["platform", "case", "direct GF/s", "copy GF/s", "ratio"], rows)
+
+
+def _fig6(full: bool) -> Result:
+    sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
+    shm = dict(bandwidth_sweep(CRAY_X1, "shmem", sizes))
+    mpi = dict(bandwidth_sweep(CRAY_X1, "mpi", sizes))
+    rows = [[fmt_bytes(s), shm[s] / 1e6, mpi[s] / 1e6] for s in sizes]
+    return ("Fig. 6 — bandwidth on the Cray X1",
+            ["msg size", "shmem MB/s", "MPI MB/s"], rows)
+
+
+def _fig7(full: bool) -> Result:
+    sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
+    specs = (IBM_SP, LINUX_MYRINET) if full else (LINUX_MYRINET,)
+    rows = []
+    for s in sizes:
+        row = [fmt_bytes(s)]
+        for spec in specs:
+            row.append(measure_overlap(spec, "armci_get", s))
+            row.append(measure_overlap(spec, "mpi", s))
+        rows.append(row)
+    headers = ["msg size"] + [f"{sp.name[:5]} {p}"
+                              for sp in specs for p in ("armci", "mpi")]
+    return ("Fig. 7 — communication/computation overlap", headers, rows)
+
+
+def _fig8(full: bool) -> Result:
+    sizes = tuple(1 << s for s in range(8, 23, 1 if full else 2))
+    sp_get = dict(bandwidth_sweep(IBM_SP, "armci_get", sizes))
+    sp_mpi = dict(bandwidth_sweep(IBM_SP, "mpi", sizes))
+    my_get = dict(bandwidth_sweep(LINUX_MYRINET, "armci_get", sizes))
+    my_mpi = dict(bandwidth_sweep(LINUX_MYRINET, "mpi", sizes))
+    rows = [[fmt_bytes(s), sp_get[s] / 1e6, sp_mpi[s] / 1e6,
+             my_get[s] / 1e6, my_mpi[s] / 1e6] for s in sizes]
+    return ("Fig. 8 — get vs MPI bandwidth (MB/s)",
+            ["msg size", "SP get", "SP mpi", "myri get", "myri mpi"], rows)
+
+
+def _fig9(full: bool) -> Result:
+    sizes = (600, 1000, 2000, 4000) if full else (1000, 2000)
+    rows = []
+    for n in sizes:
+        row = [n]
+        for zc in (True, False):
+            spec = (LINUX_MYRINET if zc
+                    else LINUX_MYRINET.with_network(zero_copy=False))
+            for nonblocking in (True, False):
+                opts = SrummaOptions(flavor="cluster", nonblocking=nonblocking)
+                row.append(run_matmul("srumma", spec, 16, n,
+                                      options=opts).gflops)
+        rows.append(row)
+    return ("Fig. 9 — zero-copy/nonblocking impact (GFLOP/s, 16 CPUs)",
+            ["N", "zc+nb", "zc+blk", "nozc+nb", "nozc+blk"], rows)
+
+
+def _fig10(full: bool) -> Result:
+    sizes = (600, 1000, 2000, 4000, 8000, 12000) if full else (600, 2000)
+    platforms = ([(LINUX_MYRINET, 128), (IBM_SP, 256),
+                  (CRAY_X1, 128), (SGI_ALTIX, 128)] if full
+                 else [(LINUX_MYRINET, 64), (SGI_ALTIX, 64)])
+    rows = []
+    for spec, nranks in platforms:
+        for n in sizes:
+            s = run_matmul("srumma", spec, nranks, n).gflops
+            p = run_matmul("pdgemm", spec, nranks, n).gflops
+            rows.append([spec.name, nranks, n, s, p, s / p])
+    return ("Fig. 10 — SRUMMA vs pdgemm",
+            ["platform", "CPUs", "N", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
+            rows)
+
+
+def _table1(full: bool) -> Result:
+    cases = [
+        (4000, 4000, 4000, 128, False, False, SGI_ALTIX),
+        (2000, 2000, 2000, 128, False, False, CRAY_X1),
+        (600, 600, 600, 128, True, True, LINUX_MYRINET),
+        (1000, 1000, 2000, 64, False, False, SGI_ALTIX),
+    ]
+    if full:
+        cases += [
+            (12000, 12000, 12000, 128, False, False, LINUX_MYRINET),
+            (8000, 8000, 8000, 256, False, False, IBM_SP),
+            (16000, 16000, 16000, 128, True, False, IBM_SP),
+            (4000, 4000, 4000, 128, True, True, SGI_ALTIX),
+            (4000, 4000, 1000, 128, False, False, LINUX_MYRINET),
+        ]
+    rows = []
+    for m, n, k, cpus, ta, tb, spec in cases:
+        s = run_matmul("srumma", spec, cpus, m, n, k,
+                       transa=ta, transb=tb).gflops
+        p = run_matmul("pdgemm", spec, cpus, m, n, k,
+                       transa=ta, transb=tb).gflops
+        case = f"C=A{'^T' if ta else ''} B{'^T' if tb else ''}"
+        rows.append([f"{m}x{n}x{k}", cpus, case, spec.name, s, p, s / p])
+    return ("Table 1 — best cases (GFLOP/s)",
+            ["size", "CPUs", "case", "platform", "SRUMMA", "pdgemm", "ratio"],
+            rows)
+
+
+def _diag_shift(full: bool) -> Result:
+    from ..core.schedule import ScheduleOptions
+
+    sizes = (1000, 2000, 4000) if full else (1000, 2000)
+    rows = []
+    for spec, nranks in ((IBM_SP, 64), (LINUX_MYRINET, 16)):
+        for n in sizes:
+            on = run_matmul("srumma", spec, nranks, n,
+                            options=SrummaOptions(flavor="cluster")).gflops
+            off = run_matmul(
+                "srumma", spec, nranks, n,
+                options=SrummaOptions(
+                    flavor="cluster",
+                    schedule=ScheduleOptions(diagonal_shift=False))).gflops
+            rows.append([spec.name, nranks, n, on, off, on / off])
+    return ("§3.1 ablation — diagonal shift (GFLOP/s)",
+            ["platform", "CPUs", "N", "with shift", "without", "speedup"],
+            rows)
+
+
+EXPERIMENTS: dict[str, Callable[[bool], Result]] = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "table1": _table1,
+    "diag-shift": _diag_shift,
+}
+
+
+def run_experiment(name: str, full: bool = False) -> Result:
+    """Run one registered experiment; see :data:`EXPERIMENTS` for names."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return fn(full)

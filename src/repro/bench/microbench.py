@@ -1,0 +1,178 @@
+"""Communication microbenchmarks (paper §4.1, Figs. 6–8).
+
+Three measurements, each run on a two-node slice of a machine model:
+
+- :func:`measure_bandwidth` — time one transfer of ``nbytes`` between ranks
+  on different nodes, for a given protocol; returns achieved bytes/s.
+- :func:`measure_overlap` — the COMB-style potential-overlap test: post a
+  nonblocking operation, compute for exactly the operation's standalone
+  duration, then wait.  Full overlap means the compute was free
+  (total == standalone time); zero overlap means total == 2x standalone.
+- :func:`bandwidth_sweep` / :func:`overlap_sweep` — the message-size sweeps
+  the figures plot.
+
+Protocols: ``"armci_get"`` (one-sided get, honouring the spec's zero-copy
+flag), ``"mpi"`` (blocking send/recv pair — half of a round-trip exchange,
+as the paper measures), ``"shmem"`` (direct memory copy within a
+shared-memory domain, Fig. 6's shared-memory series), and ``"mpi2_get"``
+(an MPI-2 style get: lock/get/unlock synchronisation on every access, the
+poorly-performing third series of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..comm.base import run_parallel
+from ..machines.spec import MachineSpec
+
+__all__ = [
+    "PROTOCOLS",
+    "measure_bandwidth",
+    "measure_overlap",
+    "bandwidth_sweep",
+    "overlap_sweep",
+    "DEFAULT_SIZES",
+]
+
+PROTOCOLS = ("armci_get", "mpi", "shmem", "mpi2_get")
+
+# 1 KB .. 4 MB, the range the paper's figures cover.
+DEFAULT_SIZES = tuple(1 << s for s in range(10, 23))
+
+
+def _remote_pair(spec: MachineSpec) -> tuple[int, int, int]:
+    """(nranks, src, dst) with src/dst on different nodes."""
+    cpn = spec.cpus_per_node
+    return cpn + 1, 0, cpn  # dst = first rank of the second node
+
+
+def _shmem_pair(spec: MachineSpec) -> tuple[int, int, int]:
+    """(nranks, src, dst) reachable by direct load/store.
+
+    On machine-scope systems that is a cross-node pair (the interesting
+    NUMA case); on clusters it must be a same-node pair.
+    """
+    if spec.shared_memory_scope == "machine":
+        return _remote_pair(spec)
+    if spec.cpus_per_node < 2:
+        raise ValueError(
+            f"{spec.name} has single-CPU nodes: no intra-node shmem pair")
+    return 2, 0, 1
+
+
+def _transfer_once(ctx, spec: MachineSpec, protocol: str, peer: int,
+                   nbytes: float, window=None):
+    """One blocking transfer of ``nbytes`` from ``peer`` to rank 0."""
+    if protocol == "armci_get":
+        yield from ctx.armci.get_bytes(peer, nbytes)
+    elif protocol == "shmem":
+        yield from ctx.shmem.copy_bytes(peer, nbytes)
+    elif protocol == "mpi":
+        yield from ctx.mpi.recv(None, src=peer, tag=1)
+    elif protocol == "mpi2_get":
+        # Real MPI-2 passive-target epoch over the window created below:
+        # lock round trip, deferred get executed at unlock through staging
+        # buffers, unlock round trip.
+        import numpy as np
+
+        out = np.empty(int(nbytes) // 8)
+        yield from window.lock(peer)
+        window.get(peer, out)
+        yield from window.unlock(peer)
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}; know {PROTOCOLS}")
+
+
+def measure_bandwidth(spec: MachineSpec, protocol: str, nbytes: float) -> float:
+    """Achieved bandwidth (bytes/s) of one inter-node transfer."""
+    spec_used = spec
+    if protocol == "shmem":
+        nranks, src, dst = _shmem_pair(spec_used)
+    else:
+        nranks, src, dst = _remote_pair(spec_used)
+    times: dict[str, float] = {}
+
+    def prog(ctx):
+        window = None
+        if protocol == "mpi2_get":
+            import numpy as np
+
+            from ..comm.mpi_rma import MpiWindow
+
+            window = MpiWindow.create(
+                ctx, "bw", local=np.zeros(max(1, int(nbytes) // 8)))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == src:
+            t0 = ctx.now
+            yield from _transfer_once(ctx, spec_used, protocol, dst, nbytes,
+                                      window=window)
+            times["dt"] = ctx.now - t0
+        elif ctx.rank == dst and protocol == "mpi":
+            yield from ctx.mpi.send(src, None, tag=1, nbytes=nbytes)
+
+    run_parallel(spec_used, nranks, prog)
+    return nbytes / times["dt"]
+
+
+def measure_overlap(spec: MachineSpec, protocol: str, nbytes: float) -> float:
+    """Potential communication/computation overlap fraction in [0, 1].
+
+    The COMB-style sender-side availability test: post the nonblocking
+    operation, compute for exactly the operation's standalone completion
+    time, then complete it.  For MPI, "completion" is end-to-end — the
+    sender additionally waits for a zero-byte ack from the receiver, so an
+    eager isend that merely buffered locally does not count as done.
+
+    Full overlap -> total time == standalone time -> returns ~1.
+    No overlap (rendezvous with no progress thread) -> total == 2x -> ~0.
+    """
+    if protocol not in ("armci_get", "mpi"):
+        raise ValueError(f"overlap defined for 'armci_get'/'mpi', not {protocol!r}")
+    base = _timed_nonblocking(spec, protocol, nbytes, compute_for=0.0)
+    total = _timed_nonblocking(spec, protocol, nbytes, compute_for=base)
+    if base <= 0:
+        return 1.0
+    overlap = 2.0 - total / base
+    return min(1.0, max(0.0, overlap))
+
+
+def _timed_nonblocking(spec: MachineSpec, protocol: str, nbytes: float,
+                       compute_for: float) -> float:
+    nranks, src, dst = _remote_pair(spec)
+    times: dict[str, float] = {}
+
+    def prog(ctx):
+        yield from ctx.mpi.barrier()
+        if ctx.rank == src:
+            t0 = ctx.now
+            if protocol == "armci_get":
+                req = ctx.armci.nb_get_bytes(dst, nbytes)
+                if compute_for > 0:
+                    yield from ctx.compute(compute_for)
+                yield from ctx.wait(req)
+            else:  # mpi isend availability, end-to-end via a 0-byte ack
+                req = ctx.mpi.isend(dst, None, tag=2, nbytes=nbytes)
+                if compute_for > 0:
+                    yield from ctx.compute(compute_for)
+                yield from ctx.mpi.wait(req)
+                yield from ctx.mpi.recv(None, src=dst, tag=3)
+            times["dt"] = ctx.now - t0
+        elif ctx.rank == dst and protocol == "mpi":
+            yield from ctx.mpi.recv(None, src=src, tag=2)
+            yield from ctx.mpi.send(src, None, tag=3, nbytes=0)
+
+    run_parallel(spec, nranks, prog)
+    return times["dt"]
+
+
+def bandwidth_sweep(spec: MachineSpec, protocol: str,
+                    sizes: Sequence[float] = DEFAULT_SIZES) -> list[tuple[float, float]]:
+    """[(nbytes, bytes_per_second), ...] across message sizes."""
+    return [(s, measure_bandwidth(spec, protocol, s)) for s in sizes]
+
+
+def overlap_sweep(spec: MachineSpec, protocol: str,
+                  sizes: Sequence[float] = DEFAULT_SIZES) -> list[tuple[float, float]]:
+    """[(nbytes, overlap_fraction), ...] across message sizes."""
+    return [(s, measure_overlap(spec, protocol, s)) for s in sizes]

@@ -1,0 +1,77 @@
+"""Table and CSV emitters for benchmark results.
+
+Every benchmark prints the series it regenerates in fixed-width tables (the
+rows the paper's figures plot), and can dump CSV next to the repo for
+post-processing.  ``paper_vs_measured`` renders the EXPERIMENTS.md-style
+comparison rows.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "to_csv", "paper_vs_measured", "fmt_bytes"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(line.rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in cells:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                title: Optional[str] = None) -> None:
+    print(format_table(headers, rows, title=title))
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Minimal CSV (no quoting needed for our numeric tables)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("CSV row width mismatch")
+        lines.append(",".join(_fmt(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def paper_vs_measured(label: str, paper_value: float, measured: float,
+                      unit: str = "x") -> str:
+    """One EXPERIMENTS.md comparison row."""
+    return (f"{label}: paper={_fmt(paper_value)}{unit} "
+            f"measured={_fmt(measured)}{unit}")
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable message size (8B, 16KB, 4MB)."""
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):g}MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):g}KB"
+    return f"{nbytes:g}B"

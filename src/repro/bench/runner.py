@@ -1,0 +1,125 @@
+"""Experiment driver: run any algorithm at any configuration, sweep, record.
+
+The per-figure benchmarks are thin loops over :func:`run_matmul` /
+:func:`sweep`; this module owns algorithm dispatch, block-size defaults
+("optimum block sizes were chosen empirically", §4 — here a simple
+size-scaled rule), and the result records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from ..baselines.cannon import cannon_multiply
+from ..baselines.fox import fox_multiply
+from ..baselines.pdgemm import pdgemm_multiply
+from ..baselines.summa import summa_multiply
+from ..core.api import srumma_multiply
+from ..core.srumma import SrummaOptions
+from ..machines.spec import MachineSpec
+
+__all__ = ["ALGORITHMS", "MatmulPoint", "run_matmul", "sweep", "default_nb"]
+
+ALGORITHMS = ("srumma", "pdgemm", "summa", "cannon", "fox")
+
+
+@dataclass
+class MatmulPoint:
+    """One measured configuration."""
+
+    algorithm: str
+    platform: str
+    m: int
+    n: int
+    k: int
+    nranks: int
+    gflops: float
+    elapsed: float
+    transa: bool = False
+    transb: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        t = ("T" if self.transa else "N") + ("T" if self.transb else "N")
+        return (f"{self.algorithm}/{self.platform} {self.m}x{self.n}x{self.k} "
+                f"{t} P={self.nranks}")
+
+
+def default_nb(n: int, nranks: int) -> int:
+    """pdgemm/SUMMA panel size: 'chosen empirically' in the paper; here a
+    rule that keeps both the panel count and the per-message size sane."""
+    import math
+
+    q = max(1, int(math.isqrt(nranks)))
+    # Aim for ~2 panels per owner block, floored at 32, capped at 256.
+    nb = max(32, min(256, n // (2 * q)))
+    return max(1, min(nb, n))
+
+
+def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
+               m: int, n: Optional[int] = None, k: Optional[int] = None,
+               transa: bool = False, transb: bool = False,
+               payload: str = "synthetic", verify: bool = False,
+               options: Optional[SrummaOptions] = None,
+               nb: Optional[int] = None, seed: int = 0,
+               interference=None) -> MatmulPoint:
+    """Run one algorithm at one configuration; returns a :class:`MatmulPoint`.
+
+    ``n``/``k`` default to ``m`` (square).  Benchmarks default to synthetic
+    payload (identical schedule, no real data — tested elsewhere to match
+    real-payload timing exactly).
+    """
+    n = m if n is None else n
+    k = m if k is None else k
+    if algorithm == "srumma":
+        res = srumma_multiply(spec, nranks, m, n, k, transa=transa,
+                              transb=transb, options=options, payload=payload,
+                              verify=verify, seed=seed,
+                              interference=interference)
+        extra = {"grid": res.grid}
+    elif algorithm == "pdgemm":
+        res = pdgemm_multiply(spec, nranks, m, n, k, transa=transa,
+                              transb=transb, payload=payload, verify=verify,
+                              nb=nb if nb is not None else default_nb(n, nranks),
+                              seed=seed, interference=interference)
+        extra = {"grid": res.grid, "nb": res.nb}
+    elif algorithm == "summa":
+        if transa or transb:
+            raise ValueError("the SUMMA baseline supports only the NN case")
+        res = summa_multiply(spec, nranks, m, n, k, payload=payload,
+                             verify=verify,
+                             kb=nb if nb is not None else default_nb(n, nranks),
+                             seed=seed, interference=interference)
+        extra = {"grid": res.grid, "kb": res.kb}
+    elif algorithm == "cannon":
+        if transa or transb:
+            raise ValueError("the Cannon baseline supports only the NN case")
+        res = cannon_multiply(spec, nranks, m, n, k, payload=payload,
+                              verify=verify, seed=seed,
+                              interference=interference)
+        extra = {"grid": res.grid}
+    elif algorithm == "fox":
+        if transa or transb:
+            raise ValueError("the Fox baseline supports only the NN case")
+        res = fox_multiply(spec, nranks, m, n, k, payload=payload,
+                           verify=verify, seed=seed,
+                           interference=interference)
+        extra = {"grid": res.grid}
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+
+    return MatmulPoint(
+        algorithm=algorithm, platform=spec.name, m=m, n=n, k=k,
+        nranks=nranks, gflops=res.gflops, elapsed=res.elapsed,
+        transa=transa, transb=transb, extra=extra,
+    )
+
+
+def sweep(algorithms: Sequence[str], spec: MachineSpec,
+          sizes: Iterable[int], nranks: int,
+          **kwargs: Any) -> list[MatmulPoint]:
+    """Cross product of algorithms x square sizes at one rank count."""
+    return [run_matmul(alg, spec, nranks, size, **kwargs)
+            for size in sizes for alg in algorithms]

@@ -1,0 +1,217 @@
+"""Command-line interface: run experiments without writing a script.
+
+Subcommands
+-----------
+``platforms``
+    List the built-in machine models and their key parameters.
+``run``
+    One multiplication: algorithm x platform x shape, with verification.
+``sweep``
+    Square-size sweep comparing algorithms on one platform.
+``bandwidth`` / ``overlap``
+    The §4.1 protocol microbenchmarks.
+
+Examples::
+
+    python -m repro run --platform linux-myrinet --nranks 16 --size 512
+    python -m repro run --platform sgi-altix --nranks 128 --size 4000 \\
+        --algorithm pdgemm --payload synthetic
+    python -m repro sweep --platform cray-x1 --nranks 64 \\
+        --sizes 600,1000,2000 --algorithms srumma,pdgemm
+    python -m repro bandwidth --platform ibm-sp --protocol armci_get
+    python -m repro overlap --platform linux-myrinet --protocol mpi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench.microbench import PROTOCOLS, bandwidth_sweep, overlap_sweep
+from .bench.report import fmt_bytes, format_table
+from .bench.runner import ALGORITHMS, run_matmul
+from .machines import PLATFORMS, get_platform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SRUMMA reproduction: simulated parallel matrix "
+                    "multiplication experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list built-in machine models")
+
+    p_run = sub.add_parser("run", help="run one multiplication")
+    _common(p_run)
+    p_run.add_argument("--algorithm", default="srumma", choices=ALGORITHMS)
+    p_run.add_argument("--size", type=int, help="square size N (= m = n = k)")
+    p_run.add_argument("--m", type=int)
+    p_run.add_argument("--n", type=int)
+    p_run.add_argument("--k", type=int)
+    p_run.add_argument("--transa", action="store_true")
+    p_run.add_argument("--transb", action="store_true")
+    p_run.add_argument("--payload", default="real",
+                       choices=("real", "synthetic"))
+    p_run.add_argument("--no-verify", action="store_true")
+    p_run.add_argument("--daemon-load", type=float, default=0.0,
+                       help="inject system-daemon CPU interference at this "
+                            "fractional load (e.g. 0.05)")
+
+    p_sweep = sub.add_parser("sweep", help="size sweep across algorithms")
+    _common(p_sweep)
+    p_sweep.add_argument("--sizes", default="600,1000,2000",
+                         help="comma-separated square sizes")
+    p_sweep.add_argument("--algorithms", default="srumma,pdgemm",
+                         help=f"comma-separated subset of {ALGORITHMS}")
+
+    p_bw = sub.add_parser("bandwidth", help="protocol bandwidth microbench")
+    _common(p_bw, nranks=False)
+    p_bw.add_argument("--protocol", default="armci_get", choices=PROTOCOLS)
+
+    p_ov = sub.add_parser("overlap", help="communication overlap microbench")
+    _common(p_ov, nranks=False)
+    p_ov.add_argument("--protocol", default="armci_get",
+                      choices=("armci_get", "mpi"))
+
+    p_rep = sub.add_parser(
+        "reproduce", help="regenerate one of the paper's figures/tables")
+    from .bench.experiments import EXPERIMENTS
+    p_rep.add_argument("--experiment", required=True,
+                       choices=sorted(EXPERIMENTS))
+    p_rep.add_argument("--full", action="store_true",
+                       help="full-scale sweep (slow); default is quick scale")
+
+    return parser
+
+
+def _common(p: argparse.ArgumentParser, nranks: bool = True) -> None:
+    p.add_argument("--platform", default="linux-myrinet",
+                   help=f"one of: {', '.join(sorted(PLATFORMS))}")
+    if nranks:
+        p.add_argument("--nranks", type=int, default=16)
+
+
+def _cmd_platforms() -> int:
+    rows = []
+    for name, spec in sorted(PLATFORMS.items()):
+        rows.append((
+            name,
+            spec.cpus_per_node,
+            spec.cpu.flops / 1e9,
+            spec.network.bandwidth / 1e6,
+            spec.network.latency * 1e6,
+            "yes" if spec.network.zero_copy else "no",
+            spec.shared_memory_scope,
+        ))
+    print(format_table(
+        ["platform", "cpus/node", "GF/s per CPU", "net MB/s",
+         "latency us", "zero-copy", "shmem scope"],
+        rows, title="built-in machine models"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = get_platform(args.platform)
+    if args.size is not None:
+        m = n = k = args.size
+    elif args.m is not None:
+        m = args.m
+        n = args.n if args.n is not None else m
+        k = args.k if args.k is not None else m
+    else:
+        print("error: give --size or --m/--n/--k", file=sys.stderr)
+        return 2
+    interference = None
+    if args.daemon_load:
+        from .sim import InterferencePattern
+
+        interference = InterferencePattern(load=args.daemon_load)
+    point = run_matmul(args.algorithm, spec, args.nranks, m, n, k,
+                       transa=args.transa, transb=args.transb,
+                       payload=args.payload,
+                       verify=(args.payload == "real" and not args.no_verify),
+                       interference=interference)
+    t = ("T" if args.transa else "N") + ("T" if args.transb else "N")
+    print(f"{args.algorithm} on {spec.name}: {m}x{n}x{k} {t}, "
+          f"{args.nranks} CPUs")
+    print(f"  virtual elapsed : {point.elapsed * 1e3:.3f} ms")
+    print(f"  aggregate rate  : {point.gflops:.2f} GFLOP/s")
+    if args.payload == "real" and not args.no_verify:
+        print("  verified numerically against numpy")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    spec = get_platform(args.platform)
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    for alg in algorithms:
+        if alg not in ALGORITHMS:
+            print(f"error: unknown algorithm {alg!r}", file=sys.stderr)
+            return 2
+    rows = []
+    for size in sizes:
+        row: list = [size]
+        for alg in algorithms:
+            row.append(run_matmul(alg, spec, args.nranks, size).gflops)
+        rows.append(row)
+    print(format_table(
+        ["N", *(f"{a} GF/s" for a in algorithms)], rows,
+        title=f"{spec.name}, {args.nranks} CPUs (synthetic payload)"))
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    spec = get_platform(args.platform)
+    series = bandwidth_sweep(spec, args.protocol)
+    rows = [(fmt_bytes(s), bw / 1e6) for s, bw in series]
+    print(format_table(["msg size", "MB/s"], rows,
+                       title=f"{args.protocol} bandwidth on {spec.name}"))
+    return 0
+
+
+def _cmd_overlap(args) -> int:
+    spec = get_platform(args.platform)
+    series = overlap_sweep(spec, args.protocol)
+    rows = [(fmt_bytes(s), ov) for s, ov in series]
+    print(format_table(["msg size", "overlap"], rows,
+                       title=f"{args.protocol} comm/compute overlap on {spec.name}"))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from .bench.experiments import run_experiment
+
+    title, headers, rows = run_experiment(args.experiment, full=args.full)
+    scale = "full" if args.full else "quick"
+    print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
+    if not args.full:
+        print("(quick scale; run with --full, or `pytest benchmarks/`, "
+              "for the complete shape-asserted sweep)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "platforms":
+            return _cmd_platforms()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "bandwidth":
+            return _cmd_bandwidth(args)
+        if args.command == "overlap":
+            return _cmd_overlap(args)
+        if args.command == "reproduce":
+            return _cmd_reproduce(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

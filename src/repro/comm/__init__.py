@@ -1,0 +1,25 @@
+"""Communication protocols on the simulated machine.
+
+- :mod:`repro.comm.armci` — one-sided RMA (get/put, zero-copy or
+  host-assisted, nonblocking with real overlap);
+- :mod:`repro.comm.mpi` — two-sided messaging (eager/rendezvous) and
+  tree collectives;
+- :mod:`repro.comm.shmem` — direct load/store access within a
+  shared-memory domain;
+- :mod:`repro.comm.base` — :class:`RankContext` and :func:`run_parallel`,
+  the entry point for running per-rank algorithm generators.
+"""
+
+from .base import CommError, ParallelRun, RankContext, Request, run_parallel
+from .armci import Armci, ArmciRuntime
+from .mpi import ANY_SOURCE, ANY_TAG, Mpi, MpiRuntime
+from .mpi_rma import MpiWindow
+from .shmem import Shmem, ShmemRuntime
+
+__all__ = [
+    "CommError", "ParallelRun", "RankContext", "Request", "run_parallel",
+    "Armci", "ArmciRuntime",
+    "ANY_SOURCE", "ANY_TAG", "Mpi", "MpiRuntime",
+    "MpiWindow",
+    "Shmem", "ShmemRuntime",
+]

@@ -1,0 +1,518 @@
+"""ARMCI-style one-sided communication (Aggregate Remote Memory Copy).
+
+Mirrors the subset of ARMCI the paper relies on (§3.3):
+
+- collective memory registration (``ARMCI_Malloc`` — here :meth:`Armci.malloc`
+  / :meth:`ArmciRuntime.register`): every rank's segment is visible to every
+  other rank, and the *cluster locality query* tells callers which ranks
+  share their memory domain;
+- blocking and nonblocking ``get``/``put`` of rectangular sections;
+- protocol selection by locality:
+
+  * same shared-memory domain → the get is a plain memory copy executed by
+    the calling CPU (no overlap possible, but very fast);
+  * remote domain, zero-copy NIC (Myrinet GM) → the NIC moves the payload;
+    the initiating CPU is free immediately after issuing the descriptor and
+    the target host CPU is never involved — this is what makes ~99% overlap
+    possible (paper Fig. 7) and what Fig. 9 switches off;
+  * remote domain, host-assisted (IBM LAPI, or zero-copy disabled) → the
+    *target's* CPU must copy between user and DMA buffers before the wire
+    transfer, stealing cycles from the target's computation.
+
+Numerical semantics: payloads are snapshotted at issue time and delivered at
+completion time, so concurrent readers always see a consistent block.
+
+Every operation also exists in a *byte-level* form (``nb_get_bytes``,
+``nb_put_bytes``) with identical timing but no payload — the large-N
+benchmark sweeps use these so a simulated 12000x12000 run does not have to
+move gigabytes of real numpy data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..sim.cluster import Machine
+from ..sim.network import Link
+from .base import CommError, Request
+
+__all__ = ["ArmciRuntime", "Armci"]
+
+Index = Union[slice, tuple]
+
+
+def _normalize_index(index: Optional[Index]) -> tuple:
+    if index is None:
+        return (slice(None),)
+    if isinstance(index, tuple):
+        return index
+    return (index,)
+
+
+def _noop() -> None:
+    return None
+
+
+def _section_segments(array_shape, idx: tuple) -> int:
+    """Number of contiguous memory segments a row-major section spans.
+
+    A 2D section is one segment when it covers the full width of the
+    stored array (whole rows are contiguous); otherwise one per row.
+    1D sections and full-array accesses are always contiguous.
+    """
+    if len(array_shape) < 2 or len(idx) < 2:
+        return 1
+    rows = len(range(*idx[0].indices(array_shape[0]))) if isinstance(idx[0], slice) else 1
+    if isinstance(idx[1], slice):
+        c0, c1, step = idx[1].indices(array_shape[1])
+        if step == 1 and c0 == 0 and c1 == array_shape[1]:
+            return 1
+    return max(1, rows)
+
+
+class ArmciRuntime:
+    """Shared state: the registry of remotely accessible memory segments."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._segments: dict[tuple[int, str], np.ndarray] = {}
+        # Outstanding one-sided *store* operations (puts/accs) per
+        # (caller, target) pair, for ARMCI_Fence semantics.
+        self._outstanding: dict[tuple[int, int], list] = {}
+        # Scalar counters for read-modify-write (ARMCI_Rmw), keyed like
+        # segments; each value is a python int mutated atomically at the
+        # simulated completion instant.
+        self._counters: dict[tuple[int, str], int] = {}
+
+    def _track(self, caller: int, target: int, req: "Request") -> "Request":
+        pend = self._outstanding.setdefault((caller, target), [])
+        pend.append(req.done)
+        req.done.add_callback(
+            lambda _ev: pend.remove(req.done) if req.done in pend else None)
+        return req
+
+    # -- registration ------------------------------------------------------
+    def register(self, rank: int, key: str, array: np.ndarray) -> np.ndarray:
+        """Make ``array`` remotely accessible as ``(rank, key)``."""
+        self.machine._check_rank(rank)
+        if (rank, key) in self._segments:
+            raise CommError(f"segment {key!r} already registered for rank {rank}")
+        if not isinstance(array, np.ndarray):
+            raise TypeError("ARMCI segments must be numpy arrays")
+        self._segments[(rank, key)] = array
+        return array
+
+    def segment(self, rank: int, key: str) -> np.ndarray:
+        try:
+            return self._segments[(rank, key)]
+        except KeyError:
+            raise CommError(f"no segment {key!r} registered for rank {rank}") from None
+
+    def has_segment(self, rank: int, key: str) -> bool:
+        return (rank, key) in self._segments
+
+    # -- transfer machinery -----------------------------------------------
+    def _stream_path(self, src_rank: int, dst_rank: int) -> list[Link]:
+        """Path of an intra-domain memory copy, capped at single-stream rate.
+
+        The private head link models the copying CPU's single-stream
+        bandwidth; the shared tail links model node memory / NUMA fabric
+        contention.
+        """
+        cap = Link("memcpy-stream", self.machine.spec.memory.copy_bandwidth)
+        return [cap] + self.machine.shmem_path(src_rank, dst_rank)
+
+    def get_transfer(self, caller: int, target: int, nbytes: float,
+                     deliver: Callable[[], None] = _noop,
+                     segments: int = 1) -> Request:
+        """Timing core of a get: ``deliver`` runs right before completion.
+
+        ``segments`` > 1 charges the strided-transfer descriptor cost
+        (``sg_overhead`` per extra segment) on remote-domain paths.
+        Used by both the data-carrying and the byte-level facades, so the
+        two paths can never drift apart.
+        """
+        machine = self.machine
+        engine = machine.engine
+        spec = machine.spec
+        machine.tracer.bump("armci_get")
+        sg_extra = max(0, segments - 1) * spec.network.sg_overhead
+
+        if machine.same_domain(caller, target):
+            # Intra-domain get: the calling CPU performs a memcpy through the
+            # node memory system (or NUMA fabric).  Contends max-min fairly
+            # with other copies.
+            done = engine.event("armci.get.shmem")
+
+            def copier():
+                cpu = machine.cpu(caller)
+                t0 = engine.now
+                yield cpu.request()
+                try:
+                    yield machine.transfer(
+                        nbytes, self._stream_path(target, caller),
+                        latency=spec.memory.shmem_latency,
+                        label=f"armci-get-shm {target}->{caller}")
+                finally:
+                    cpu.release()
+                machine.tracer.account(caller, "copy", engine.now - t0)
+                deliver()
+                done.succeed(nbytes)
+
+            engine.spawn(copier(), name=f"armci-shm-get@{caller}")
+            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+
+        # Remote-domain get over the interconnect.
+        path = machine.network_path(target, caller)  # data flows target->caller
+        done = engine.event("armci.get.rma")
+
+        if spec.network.zero_copy:
+            flow = machine.transfer(
+                nbytes, path, latency=spec.network.rma_latency + sg_extra,
+                label=f"armci-get {target}->{caller}")
+
+            def finish(_ev):
+                deliver()
+                done.succeed(nbytes)
+
+            flow.add_callback(finish)
+            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+
+        # Host-assisted protocol: the request travels to the target, whose
+        # CPU copies user buffer -> DMA buffer *pipelined* with the wire
+        # transfer (chunked staging, as LAPI does): the transfer rate is
+        # capped by the host copy rate, and the target's CPU is occupied
+        # for the copy — stolen FIFO from whatever computation the target
+        # is doing (the Fig. 9 mechanism).
+        def host_assisted():
+            yield engine.timeout(spec.network.rma_latency / 2.0)
+            cpu = machine.cpu(target)
+            yield cpu.request()
+            copy_time = nbytes / spec.network.host_copy_bandwidth
+            stream = Link("hostcopy-stream", spec.network.host_copy_bandwidth)
+            flow = machine.transfer(
+                nbytes, [stream] + list(path),
+                latency=spec.network.rma_latency / 2.0 + sg_extra,
+                label=f"armci-get-hc {target}->{caller}")
+
+            def copier():
+                try:
+                    yield engine.timeout(copy_time)
+                    machine.tracer.account(target, "copy", copy_time)
+                finally:
+                    cpu.release()
+
+            copy_done = engine.spawn(copier(), name=f"armci-hc-copy@{target}")
+            yield engine.all_of([flow, copy_done])
+            deliver()
+            done.succeed(nbytes)
+
+        engine.spawn(host_assisted(), name=f"armci-hc-get@{target}")
+        return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+
+    def put_transfer(self, caller: int, target: int, nbytes: float,
+                     deliver: Callable[[], None] = _noop) -> Request:
+        """Timing core of a put; ``deliver`` runs right before completion."""
+        machine = self.machine
+        engine = machine.engine
+        spec = machine.spec
+        machine.tracer.bump("armci_put")
+        done = engine.event("armci.put")
+
+        if machine.same_domain(caller, target):
+            def copier():
+                cpu = machine.cpu(caller)
+                t0 = engine.now
+                yield cpu.request()
+                try:
+                    yield machine.transfer(
+                        nbytes, self._stream_path(caller, target),
+                        latency=spec.memory.shmem_latency,
+                        label=f"armci-put-shm {caller}->{target}")
+                finally:
+                    cpu.release()
+                machine.tracer.account(caller, "copy", engine.now - t0)
+                deliver()
+                done.succeed(nbytes)
+
+            engine.spawn(copier(), name=f"armci-shm-put@{caller}")
+            return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+
+        path = machine.network_path(caller, target)
+
+        if spec.network.zero_copy:
+            flow = machine.transfer(nbytes, path, latency=spec.network.latency,
+                                    label=f"armci-put {caller}->{target}")
+
+            def finish(_ev):
+                deliver()
+                done.succeed(nbytes)
+
+            flow.add_callback(finish)
+            return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+
+        def host_assisted():
+            cpu = machine.cpu(target)
+            yield cpu.request()
+            copy_time = nbytes / spec.network.host_copy_bandwidth
+            stream = Link("hostcopy-stream", spec.network.host_copy_bandwidth)
+            flow = machine.transfer(nbytes, [stream] + list(path),
+                                    latency=spec.network.latency,
+                                    label=f"armci-put-hc {caller}->{target}")
+
+            def copier():
+                try:
+                    yield engine.timeout(copy_time)
+                    machine.tracer.account(target, "copy", copy_time)
+                finally:
+                    cpu.release()
+
+            copy_done = engine.spawn(copier(), name=f"armci-hc-copy@{target}")
+            yield engine.all_of([flow, copy_done])
+            deliver()
+            done.succeed(nbytes)
+
+        engine.spawn(host_assisted(), name=f"armci-hc-put@{target}")
+        return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+
+    def acc_transfer(self, caller: int, target: int, nbytes: float,
+                     n_elements: int,
+                     deliver: Callable[[], None] = _noop) -> Request:
+        """Timing core of an accumulate: a put whose payload must also be
+        *added* into the target's memory by the target CPU (even zero-copy
+        NICs cannot do the arithmetic), element-atomically at completion."""
+        machine = self.machine
+        engine = machine.engine
+        spec = machine.spec
+        machine.tracer.bump("armci_acc")
+        done = engine.event("armci.acc")
+
+        def accumulate():
+            # Move the payload like a put (wire or intra-domain memcpy)...
+            if machine.same_domain(caller, target):
+                stream = self._stream_path(caller, target)
+                yield machine.transfer(nbytes, stream,
+                                       latency=spec.memory.shmem_latency,
+                                       label=f"armci-acc-shm {caller}->{target}")
+            else:
+                path = machine.network_path(caller, target)
+                yield machine.transfer(nbytes, path,
+                                       latency=spec.network.latency,
+                                       label=f"armci-acc {caller}->{target}")
+            # ...then the target CPU performs the addition (1 flop/element).
+            cpu = machine.cpu(target)
+            yield cpu.request()
+            try:
+                add_time = n_elements / spec.cpu.flops
+                yield engine.timeout(add_time)
+                machine.tracer.account(target, "copy", add_time)
+            finally:
+                cpu.release()
+            deliver()
+            done.succeed(nbytes)
+
+        engine.spawn(accumulate(), name=f"armci-acc@{target}")
+        return Request(done, kind="acc", nbytes=nbytes, issued_at=engine.now)
+
+    # -- data-carrying issue helpers --------------------------------------------
+    def _issue_get(self, caller: int, target: int, key: str,
+                   src_index: Optional[Index], out: np.ndarray,
+                   out_index: Optional[Index]) -> Request:
+        src = self.segment(target, key)
+        sidx = _normalize_index(src_index)
+        payload = np.array(src[sidx], copy=True)  # snapshot at issue
+        oidx = _normalize_index(out_index)
+        if out[oidx].shape != payload.shape:
+            raise CommError(
+                f"get shape mismatch: source section {payload.shape} vs "
+                f"destination section {out[oidx].shape}")
+
+        def deliver():
+            out[oidx] = payload.reshape(out[oidx].shape)
+
+        return self.get_transfer(caller, target, float(payload.nbytes), deliver,
+                                 segments=_section_segments(src.shape, sidx))
+
+    def _issue_put(self, caller: int, target: int, key: str,
+                   dst_index: Optional[Index], data: np.ndarray) -> Request:
+        dst = self.segment(target, key)
+        didx = _normalize_index(dst_index)
+        payload = np.array(data, copy=True)  # snapshot at issue
+        if dst[didx].shape != payload.shape:
+            raise CommError(
+                f"put shape mismatch: data {payload.shape} vs destination "
+                f"section {dst[didx].shape}")
+
+        def deliver():
+            dst[didx] = payload.reshape(dst[didx].shape)
+
+        return self.put_transfer(caller, target, float(payload.nbytes), deliver)
+
+
+class Armci:
+    """Per-rank ARMCI facade."""
+
+    def __init__(self, runtime: ArmciRuntime, rank: int):
+        self._rt = runtime
+        self.rank = rank
+
+    # -- memory ------------------------------------------------------------
+    def malloc(self, key: str, shape: Sequence[int],
+               dtype: Any = np.float64) -> np.ndarray:
+        """Allocate and register this rank's part of a shared segment.
+
+        Collective in spirit: every rank should call it with the same key
+        (as with ``ARMCI_Malloc``); the registry enforces per-rank uniqueness.
+        """
+        arr = np.zeros(tuple(shape), dtype=dtype)
+        return self._rt.register(self.rank, key, arr)
+
+    def local(self, key: str) -> np.ndarray:
+        """This rank's own segment."""
+        return self._rt.segment(self.rank, key)
+
+    # -- locality query (ARMCI cluster information, paper §3.3) -------------
+    def domain_of(self, rank: int) -> int:
+        return self._rt.machine.domain_of(rank)
+
+    def same_domain(self, rank: int) -> bool:
+        return self._rt.machine.same_domain(self.rank, rank)
+
+    def domain_ranks(self) -> list[int]:
+        """Ranks sharing this rank's memory domain (including self)."""
+        return self._rt.machine.ranks_in_domain(self._rt.machine.domain_of(self.rank))
+
+    # -- one-sided operations -------------------------------------------------
+    def nb_get(self, target: int, key: str, out: np.ndarray,
+               src_index: Optional[Index] = None,
+               out_index: Optional[Index] = None) -> Request:
+        """Nonblocking get of ``segment(target,key)[src_index]`` into
+        ``out[out_index]``.  Returns a :class:`Request`."""
+        return self._rt._issue_get(self.rank, target, key, src_index, out, out_index)
+
+    def get(self, target: int, key: str, out: np.ndarray,
+            src_index: Optional[Index] = None,
+            out_index: Optional[Index] = None):
+        """Blocking get (generator): issue then wait, accounting the block."""
+        req = self.nb_get(target, key, out, src_index, out_index)
+        yield from self._wait(req)
+        return req
+
+    def nb_put(self, target: int, key: str, data: np.ndarray,
+               dst_index: Optional[Index] = None) -> Request:
+        """Nonblocking put of ``data`` into ``segment(target,key)[dst_index]``."""
+        return self._rt._track(
+            self.rank, target,
+            self._rt._issue_put(self.rank, target, key, dst_index, data))
+
+    def nb_acc(self, target: int, key: str, data: np.ndarray,
+               dst_index: Optional[Index] = None,
+               scale: float = 1.0) -> Request:
+        """Nonblocking accumulate: ``segment[dst_index] += scale * data``.
+
+        Element-atomic at the target (ARMCI_Acc semantics): concurrent
+        accumulates from different ranks all land."""
+        dst = self._rt.segment(target, key)
+        didx = _normalize_index(dst_index)
+        payload = np.array(data, copy=True)  # snapshot at issue
+        if dst[didx].shape != payload.shape:
+            raise CommError(
+                f"acc shape mismatch: data {payload.shape} vs destination "
+                f"section {dst[didx].shape}")
+
+        def deliver():
+            dst[didx] += scale * payload.reshape(dst[didx].shape)
+
+        req = self._rt.acc_transfer(self.rank, target, float(payload.nbytes),
+                                    int(payload.size), deliver)
+        return self._rt._track(self.rank, target, req)
+
+    def acc(self, target: int, key: str, data: np.ndarray,
+            dst_index: Optional[Index] = None, scale: float = 1.0):
+        """Blocking accumulate (generator)."""
+        req = self.nb_acc(target, key, data, dst_index, scale)
+        yield from self._wait(req)
+        return req
+
+    def rmw_counter(self, key: str, initial: int = 0) -> None:
+        """Register a shared counter owned by this rank (for ARMCI_Rmw)."""
+        ck = (self.rank, key)
+        if ck in self._rt._counters:
+            raise CommError(f"counter {key!r} already exists on rank {self.rank}")
+        self._rt._counters[ck] = initial
+
+    def rmw_fetch_add(self, target: int, key: str, increment: int = 1):
+        """Atomic fetch-and-add on a remote counter (generator).
+
+        Returns the counter's value *before* the addition.  Cost: one RMA
+        round trip (latency-bound, like a tiny get)."""
+        rt = self._rt
+        if (target, key) not in rt._counters:
+            raise CommError(f"no counter {key!r} on rank {target}")
+        req = rt.get_transfer(self.rank, target, 8.0)
+
+        # The atomic update happens at the simulated completion instant.
+        result: dict = {}
+
+        def apply(_ev):
+            result["old"] = rt._counters[(target, key)]
+            rt._counters[(target, key)] += increment
+
+        req.done.add_callback(apply)
+        yield from self._wait(req)
+        return result["old"]
+
+    def fence(self, target: Optional[int] = None):
+        """Block until this rank's outstanding puts/accs complete (generator).
+
+        ``target=None`` fences all targets (ARMCI_AllFence)."""
+        engine = self._rt.machine.engine
+        pending = []
+        for (c, t), events in self._rt._outstanding.items():
+            if c == self.rank and (target is None or t == target):
+                pending.extend(e for e in events if not e.triggered)
+        if pending:
+            t0 = engine.now
+            yield engine.all_of(list(pending))
+            self._rt.machine.tracer.account(self.rank, "comm_wait",
+                                            engine.now - t0)
+
+    def put(self, target: int, key: str, data: np.ndarray,
+            dst_index: Optional[Index] = None):
+        """Blocking put (generator)."""
+        req = self.nb_put(target, key, data, dst_index)
+        yield from self._wait(req)
+        return req
+
+    # -- byte-level (synthetic payload) operations -------------------------------
+    def nb_get_bytes(self, target: int, nbytes: float,
+                     segments: int = 1) -> Request:
+        """Nonblocking get with the full protocol timing but no payload.
+
+        ``segments`` replicates the strided-descriptor cost the equivalent
+        data-carrying get would pay."""
+        if nbytes < 0:
+            raise ValueError(f"negative get size {nbytes}")
+        return self._rt.get_transfer(self.rank, target, float(nbytes),
+                                     segments=segments)
+
+    def get_bytes(self, target: int, nbytes: float, segments: int = 1):
+        """Blocking byte-level get (generator)."""
+        req = self.nb_get_bytes(target, nbytes, segments=segments)
+        yield from self._wait(req)
+        return req
+
+    def nb_put_bytes(self, target: int, nbytes: float) -> Request:
+        """Nonblocking put with the full protocol timing but no payload."""
+        if nbytes < 0:
+            raise ValueError(f"negative put size {nbytes}")
+        return self._rt.put_transfer(self.rank, target, float(nbytes))
+
+    def _wait(self, req: Request):
+        engine = self._rt.machine.engine
+        t0 = engine.now
+        if not req.done.triggered:
+            yield req.done
+        self._rt.machine.tracer.account(self.rank, "comm_wait", engine.now - t0)

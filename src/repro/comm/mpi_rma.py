@@ -1,0 +1,178 @@
+"""MPI-2 one-sided communication (windows, lock/unlock, fence).
+
+The paper measures ``MPI_Get`` on the IBM SP and finds "its performance to
+be relatively low as compared to the other two protocols" (§4.1, Fig. 8).
+This module models why, with the semantics MPI-2 actually mandates:
+
+- operations target a collectively created **window**;
+- passive-target access requires ``lock(target)`` / ``unlock(target)``
+  round trips, with exclusive locks serialising all origins at a target;
+- gets/puts issued inside an epoch are **deferred**: MPI-2 only guarantees
+  completion at the closing synchronisation call, and era implementations
+  executed them there, staged through internal buffers (no zero-copy, no
+  overlap with the origin's computation);
+- active-target ``fence`` is a collective barrier that completes every
+  pending operation.
+
+Contrast with ARMCI (``repro.comm.armci``): no epochs, per-operation
+nonblocking handles, zero-copy paths — the design difference the paper's
+protocol study turns on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.network import Link
+from ..sim.resources import Resource
+from .armci import _normalize_index, Index
+from .base import CommError, RankContext
+
+__all__ = ["MpiWindow"]
+
+
+class _WindowState:
+    """Shared (cross-rank) state of one window."""
+
+    def __init__(self, machine, name: str):
+        self.machine = machine
+        self.name = name
+        self.exposures: dict[int, np.ndarray] = {}
+        # One exclusive lock per target rank (passive-target serialisation).
+        self.locks = {
+            r: Resource(machine.engine, capacity=1, name=f"win:{name}@{r}")
+            for r in range(machine.nranks)
+        }
+
+
+class MpiWindow:
+    """Per-rank handle to an MPI-2 window."""
+
+    def __init__(self, ctx: RankContext, state: _WindowState):
+        self.ctx = ctx
+        self._state = state
+        self._held: set[int] = set()
+        # Deferred operations per locked target: (kind, target, payloadinfo)
+        self._pending: dict[int, list] = {}
+
+    # -- creation -----------------------------------------------------------
+    @classmethod
+    def create(cls, ctx: RankContext, name: str,
+               local: Optional[np.ndarray] = None) -> "MpiWindow":
+        """Collectively create a window exposing ``local`` on this rank.
+
+        Every rank calls this with the same ``name``.  ``local=None``
+        exposes nothing (a zero-size contribution, as MPI allows).
+        """
+        machine = ctx.machine
+        registry = getattr(machine, "_mpi_windows", None)
+        if registry is None:
+            registry = {}
+            machine._mpi_windows = registry
+        state = registry.get(name)
+        if state is None:
+            state = _WindowState(machine, name)
+            registry[name] = state
+        if ctx.rank in state.exposures:
+            raise CommError(
+                f"rank {ctx.rank} already exposed memory in window {name!r}")
+        state.exposures[ctx.rank] = (local if local is not None
+                                     else np.zeros(0))
+        return cls(ctx, state)
+
+    # -- passive target ---------------------------------------------------------
+    def lock(self, target: int):
+        """Acquire the exclusive passive-target lock (generator).
+
+        Costs a control round trip on top of any queueing behind other
+        origins — the serialisation MPI-2's default lock mode imposes.
+        """
+        if target in self._held:
+            raise CommError(f"window lock for target {target} already held")
+        machine = self.ctx.machine
+        t0 = self.ctx.now
+        yield self._state.locks[target].request()
+        yield machine.engine.timeout(2 * machine.spec.network.latency)
+        self._held.add(target)
+        self._pending[target] = []
+        machine.tracer.account(self.ctx.rank, "comm_wait", self.ctx.now - t0)
+
+    def get(self, target: int, out: np.ndarray,
+            index: Optional[Index] = None) -> None:
+        """Queue a get; data is only valid after :meth:`unlock`."""
+        self._queue(target, ("get", out, index))
+
+    def put(self, target: int, data: np.ndarray,
+            index: Optional[Index] = None) -> None:
+        """Queue a put; target memory updates at :meth:`unlock`."""
+        self._queue(target, ("put", np.array(data, copy=True), index))
+
+    def _queue(self, target: int, op) -> None:
+        if target not in self._held:
+            raise CommError(
+                f"window op without holding the lock for target {target}")
+        if target not in self._state.exposures:
+            raise CommError(f"rank {target} exposed nothing in this window")
+        self._pending[target].append(op)
+
+    def unlock(self, target: int):
+        """Execute the epoch's deferred operations, then release (generator)."""
+        if target not in self._held:
+            raise CommError(f"unlock without lock for target {target}")
+        machine = self.ctx.machine
+        spec = machine.spec
+        t0 = self.ctx.now
+        exposed = self._state.exposures[target]
+        for kind, buf, index in self._pending.pop(target):
+            idx = _normalize_index(index)
+            section = exposed[idx]
+            nbytes = float(section.nbytes)
+            # Staged through library buffers at the host copy rate; no
+            # zero-copy path existed for MPI-2 RMA on these systems.
+            stream = Link("mpi2-stream", spec.network.host_copy_bandwidth)
+            if machine.same_node(self.ctx.rank, target):
+                path = [stream, machine.nodes[machine.node_of(target)].mem]
+            else:
+                path = [stream] + list(
+                    machine.network_path(target, self.ctx.rank)
+                    if kind == "get" else
+                    machine.network_path(self.ctx.rank, target))
+            yield machine.transfer(nbytes, path,
+                                   latency=spec.network.latency
+                                   + spec.network.mpi_overhead,
+                                   label=f"mpi2-{kind} @{target}")
+            # The staging copy between the user buffer and the library's
+            # internal buffer ran *serially* with the wire transfer in
+            # era implementations (no chunk pipelining) — the main reason
+            # the paper found MPI_Get bandwidth "relatively low".
+            yield machine.engine.timeout(
+                nbytes / spec.network.host_copy_bandwidth)
+            if kind == "get":
+                if buf[...].shape != section.shape:
+                    raise CommError(
+                        f"MPI_Get shape mismatch: {buf.shape} vs {section.shape}")
+                buf[...] = section
+            else:
+                if section.shape != buf.shape:
+                    raise CommError(
+                        f"MPI_Put shape mismatch: {buf.shape} vs {section.shape}")
+                exposed[idx] = buf
+        # Unlock control round trip.
+        yield machine.engine.timeout(2 * spec.network.latency)
+        self._held.discard(target)
+        self._state.locks[target].release()
+        machine.tracer.account(self.ctx.rank, "comm_wait", self.ctx.now - t0)
+
+    # -- active target -----------------------------------------------------------
+    def fence(self, tag: int = 8_000_000):
+        """Collective fence: a barrier over all window ranks (generator).
+
+        Any deferred passive-target epochs must already be closed; the
+        fence synchronises exposure epochs across the window group.
+        """
+        if self._held:
+            raise CommError("fence with passive-target locks still held")
+        group = sorted(self._state.exposures)
+        yield from self.ctx.mpi.barrier(group=group, tag=tag)

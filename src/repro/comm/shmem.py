@@ -1,0 +1,143 @@
+"""Direct shared-memory access within a shared-memory domain.
+
+Models the load/store path of the paper (§3.2): inside one domain a rank can
+
+- :meth:`Shmem.view` — obtain a *direct reference* to another rank's block
+  and hand it straight to ``dgemm`` without any copy.  The access itself is
+  free in simulated time; the cost shows up in the kernel rate instead
+  (``remote_uncached`` on the Cray X1 where remote memory cannot be cached,
+  a mild NUMA factor on the SGI Altix).  Use :meth:`direct_access_penalty`
+  to know what to charge.
+- :meth:`Shmem.copy` — an explicit block memory copy into a local buffer
+  (the copy-based flavour that wins on the X1).  The calling CPU is busy
+  for the duration and the bytes cross the node memory system / NUMA
+  fabric, contending with other copies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.cluster import Machine
+from ..sim.network import Link
+from .base import CommError
+from .armci import ArmciRuntime, _normalize_index, Index
+
+__all__ = ["ShmemRuntime", "Shmem"]
+
+
+class ShmemRuntime:
+    """Shared state for direct access: reuses the ARMCI segment registry."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        # The segment registry is owned by ArmciRuntime; run_parallel wires
+        # the same machine into both, and Shmem looks segments up lazily so
+        # registration order does not matter.
+        self._armci_rt: Optional[ArmciRuntime] = None
+
+    def bind(self, armci_rt: ArmciRuntime) -> None:
+        self._armci_rt = armci_rt
+
+    def segment(self, rank: int, key: str) -> np.ndarray:
+        if self._armci_rt is None:
+            # Locate lazily through the machine's registered runtime; in
+            # run_parallel both runtimes share one machine, so tests that
+            # build runtimes by hand must call bind().
+            raise CommError("ShmemRuntime not bound to an ArmciRuntime")
+        return self._armci_rt.segment(rank, key)
+
+
+class Shmem:
+    """Per-rank direct-access facade."""
+
+    def __init__(self, runtime: ShmemRuntime, rank: int):
+        self._rt = runtime
+        self.rank = rank
+
+    @property
+    def machine(self) -> Machine:
+        return self._rt.machine
+
+    def can_access(self, target: int) -> bool:
+        """True when ``target``'s memory is load/store reachable from here."""
+        return self.machine.same_domain(self.rank, target)
+
+    def view(self, target: int, key: str,
+             index: Optional[Index] = None) -> np.ndarray:
+        """Direct reference to (a section of) another rank's segment.
+
+        Zero simulated cost — charge the kernel via
+        :meth:`direct_access_penalty` when you compute on it.
+        """
+        if not self.can_access(target):
+            raise CommError(
+                f"rank {self.rank} cannot load/store rank {target}'s memory "
+                f"on {self.machine.spec.name} (different domains)")
+        seg = self._rt.segment(target, key)
+        if index is None:
+            return seg
+        return seg[_normalize_index(index)]
+
+    def direct_access_penalty(self, target: int) -> bool:
+        """Whether computing directly on ``target``'s memory pays the
+        platform's remote-access kernel penalty (True off-node on
+        non-uniform machines; False for node-local blocks)."""
+        if target == self.rank:
+            return False
+        if self.machine.same_node(self.rank, target):
+            return False
+        return True
+
+    def copy(self, target: int, key: str, out: np.ndarray,
+             src_index: Optional[Index] = None,
+             out_index: Optional[Index] = None):
+        """Explicit block copy into a local buffer (generator).
+
+        The calling CPU is held for the duration; bytes flow through the
+        node memory controller (same node) or the NUMA fabric (cross-node
+        within a machine-wide domain), sharing bandwidth max-min fairly.
+        """
+        if not self.can_access(target):
+            raise CommError(
+                f"rank {self.rank} cannot copy from rank {target} directly "
+                f"(different domains on {self.machine.spec.name})")
+        machine = self.machine
+        engine = machine.engine
+        src = self._rt.segment(target, key)
+        payload = np.array(src[_normalize_index(src_index)], copy=True)  # snapshot at issue
+        oidx = _normalize_index(out_index)
+        if out[oidx].shape != payload.shape:
+            raise CommError(
+                f"copy shape mismatch: {payload.shape} vs {out[oidx].shape}")
+        yield from self._timed_copy(target, float(payload.nbytes))
+        out[oidx] = payload.reshape(out[oidx].shape)
+
+    def copy_bytes(self, target: int, nbytes: float):
+        """Byte-level explicit copy: full timing, no payload (generator)."""
+        if not self.can_access(target):
+            raise CommError(
+                f"rank {self.rank} cannot copy from rank {target} directly "
+                f"(different domains on {self.machine.spec.name})")
+        if nbytes < 0:
+            raise ValueError(f"negative copy size {nbytes}")
+        yield from self._timed_copy(target, float(nbytes))
+
+    def _timed_copy(self, target: int, nbytes: float):
+        machine = self.machine
+        engine = machine.engine
+        machine.tracer.bump("shmem_copy")
+        stream = Link("shmem-stream", machine.spec.memory.copy_bandwidth)
+        path = [stream] + machine.shmem_path(target, self.rank)
+        cpu = machine.cpu(self.rank)
+        t0 = engine.now
+        yield cpu.request()
+        try:
+            yield machine.transfer(nbytes, path,
+                                   latency=machine.spec.memory.shmem_latency,
+                                   label=f"shmem-copy {target}->{self.rank}")
+        finally:
+            cpu.release()
+        machine.tracer.account(self.rank, "copy", engine.now - t0)

@@ -1,0 +1,417 @@
+"""The SRUMMA algorithm (paper §2–§3).
+
+One generator, :func:`srumma_rank`, implements all three flavours:
+
+``cluster`` (§3.1)
+    Operands inside the caller's shared-memory domain are accessed directly
+    through load/store (no copy); operands on other nodes arrive via
+    *nonblocking ARMCI gets*, double-buffered so the transfer of task
+    ``t+1`` overlaps the dgemm of task ``t`` (paper Fig. 3).  With
+    ``nonblocking=False`` every get is blocking — the Fig. 9 ablation.
+
+``direct`` (§3.2, SGI Altix)
+    Every operand patch is passed to dgemm as a direct reference into the
+    owner's memory.  No copies at all; off-node operands charge the
+    platform's remote-access kernel factor (mild on a cacheable ccNUMA).
+
+``copy`` (§3.2, Cray X1)
+    Off-node operand patches are explicitly copied into local buffers by
+    the calling CPU before dgemm (remote memory is not cacheable, so the
+    kernel would crawl on direct references); node-local patches are still
+    accessed directly.
+
+Payload modes: with :class:`~repro.distarray.global_array.GlobalArray`
+handles the run moves real numpy data and the result is verifiable; with
+bare :class:`~repro.distarray.distribution.Block2D` distributions the run is
+*synthetic* — identical simulated timing, no data (large-N sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Union
+
+import numpy as np
+
+from ..comm.base import RankContext, Request
+from ..distarray.distribution import Block2D
+from ..distarray.global_array import GlobalArray
+from ..machines.spec import MachineSpec
+from .schedule import ScheduleOptions, order_tasks, task_is_domain_local
+from .tasks import BlockTask, build_tasks
+
+__all__ = ["SrummaOptions", "srumma_rank", "resolve_flavor", "RankStats"]
+
+MatrixArg = Union[GlobalArray, Block2D]
+
+
+@dataclass(frozen=True)
+class SrummaOptions:
+    """Algorithm switches (defaults = the paper's best configuration)."""
+
+    flavor: str = "auto"
+    """'cluster', 'direct', 'copy', or 'auto' (pick by machine model:
+    clusters -> cluster; shared-memory machines -> direct when remote
+    memory is cacheable, else copy)."""
+
+    nonblocking: bool = True
+    """Double-buffered nonblocking pipeline (True) vs blocking gets (False).
+    Only meaningful for the cluster flavour."""
+
+    dynamic: bool = False
+    """Dynamic runtime scheduling (paper §2: 'the specific sequence in which
+    the block matrix multiplications are executed is determined dynamically
+    at run time').  Remote tasks still prefetch double-buffered, but
+    domain-local tasks are held back as *filler*: whenever remote data is
+    not yet ready, a local task computes instead of blocking.  Implies the
+    nonblocking pipeline; cluster flavour only."""
+
+    pipeline_depth: int = 2
+    """Outstanding remote prefetches (2 = the paper's two buffers B1/B2)."""
+
+    schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+    """Task-ordering switches (diagonal shift, local-first)."""
+
+    def __post_init__(self):
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+
+    def describe(self) -> str:
+        nb = "dyn" if self.dynamic else ("nb" if self.nonblocking else "blk")
+        return f"{self.flavor}/{nb}/{self.schedule.describe()}"
+
+
+def resolve_flavor(spec: MachineSpec, flavor: str = "auto") -> str:
+    """Resolve 'auto' to the right flavour for a machine (paper §3.2)."""
+    if flavor != "auto":
+        if flavor not in ("cluster", "direct", "copy"):
+            raise ValueError(f"unknown SRUMMA flavor {flavor!r}")
+        return flavor
+    if spec.shared_memory_scope == "machine":
+        return "direct" if spec.memory.remote_cacheable else "copy"
+    return "cluster"
+
+
+@dataclass
+class RankStats:
+    """Per-rank execution statistics returned by :func:`srumma_rank`."""
+
+    tasks: int = 0
+    local_tasks: int = 0
+    remote_gets: int = 0
+    bytes_fetched: float = 0.0
+    copies: int = 0
+    flops: int = 0
+    flavor: str = ""
+    comm_time: float = 0.0
+    """Summed issue-to-completion seconds of this rank's transfers (the
+    denominator of the paper's overlap degree omega)."""
+    peak_buffer_bytes: float = 0.0
+    """High-water mark of communication buffer memory on this rank (the
+    paper's memory-efficiency claim: SRUMMA needs two block buffers, not
+    full extra copies of A and B)."""
+
+
+class _Operand:
+    """How one task operand is obtained: view / get / copy."""
+
+    __slots__ = ("mode", "owner", "index", "shape", "penalty")
+
+    def __init__(self, mode: str, owner: int, index, shape, penalty: bool):
+        self.mode = mode      # "view" | "get" | "copy"
+        self.owner = owner
+        self.index = index
+        self.shape = shape
+        self.penalty = penalty
+
+
+def _plan_operand(ctx: RankContext, flavor: str, owner: int, index,
+                  shape) -> _Operand:
+    """Decide the access mode for one operand patch (paper §3 rules)."""
+    shmem = ctx.shmem
+    if flavor == "cluster":
+        if ctx.same_domain(owner):
+            return _Operand("view", owner, index, shape, penalty=False)
+        return _Operand("get", owner, index, shape, penalty=False)
+    if flavor == "direct":
+        return _Operand("view", owner, index, shape,
+                        penalty=shmem.direct_access_penalty(owner))
+    # copy flavour: only off-node patches need the explicit copy.
+    if shmem.direct_access_penalty(owner):
+        return _Operand("copy", owner, index, shape, penalty=False)
+    return _Operand("view", owner, index, shape, penalty=False)
+
+
+def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
+                transa: bool = False, transb: bool = False,
+                options: Optional[SrummaOptions] = None,
+                alpha: float = 1.0, beta: float = 1.0) -> Generator:
+    """Per-rank SRUMMA: ``C_block = beta*C_block + alpha * op(A) op(B)``.
+
+    ``a``/``b``/``c`` are :class:`GlobalArray` handles (real payload) or bare
+    :class:`Block2D` distributions (synthetic timing-only run).  Returns a
+    :class:`RankStats`.
+    """
+    if options is None:
+        options = SrummaOptions()
+    flavor = resolve_flavor(ctx.machine.spec, options.flavor)
+    real = isinstance(c, GlobalArray)
+    dist_a = a.dist if isinstance(a, GlobalArray) else a
+    dist_b = b.dist if isinstance(b, GlobalArray) else b
+    dist_c = c.dist if isinstance(c, GlobalArray) else c
+    itemsize = c.dtype.itemsize if real else np.dtype(np.float64).itemsize
+
+    stats = RankStats(flavor=flavor)
+    if dist_c.nranks > ctx.nranks:
+        raise ValueError("C distribution needs more ranks than the machine has")
+    coords = (dist_c.coords_of(ctx.rank) if ctx.rank < dist_c.nranks else None)
+    tasks = build_tasks(dist_a, dist_b, dist_c, transa, transb, coords=coords)
+    if not tasks:
+        return stats
+    tasks = order_tasks(tasks, ctx.machine, ctx.rank, coords, options.schedule)
+    stats.tasks = len(tasks)
+    stats.local_tasks = sum(
+        1 for t in tasks if task_is_domain_local(ctx.machine, ctx.rank, t))
+
+    c_local = c.local() if real else None
+    r_lo, _ = dist_c.row_range(coords[0])
+    c_lo, _ = dist_c.col_range(coords[1])
+
+    if beta == 0.0:
+        # Fresh result: start from zeros (no kernel cost — dgemm's first
+        # store overwrites anyway).
+        if real:
+            c_local[...] = 0.0
+    elif beta != 1.0:
+        # Owner-computes: scale the local C block once up front (one flop
+        # per element on this rank's CPU).
+        my_shape = dist_c.block_shape(*coords)
+        scale_flops = my_shape[0] * my_shape[1]
+        if scale_flops:
+            yield from ctx.compute(
+                scale_flops / (ctx.machine.spec.cpu.flops
+                               * ctx.machine.spec.cpu.peak_efficiency))
+        if real:
+            c_local *= beta
+
+    plans = [
+        (_plan_operand(ctx, flavor, t.a_owner, t.a_index, t.a_shape),
+         _plan_operand(ctx, flavor, t.b_owner, t.b_index, t.b_shape))
+        for t in tasks
+    ]
+
+    # ----- acquisition helpers ------------------------------------------------
+    # Fetched-patch reuse (paper §3.1 step 2: "the currently held A_ik
+    # matrix block is used in consecutive matrix products before its copy
+    # is discarded"): a small bounded cache keyed by (operand, owner,
+    # section) so that segmented task lists — transpose cases on
+    # non-square grids fetch the same patch for several adjacent tasks —
+    # pay each transfer once.
+    # Capacity: the two pipeline buffers per operand (paper: B1/B2), or
+    # more when a deeper dynamic pipeline is requested.  Reuse only needs
+    # to catch *adjacent* tasks sharing a patch, so a small cache suffices
+    # and the memory bound stays a constant number of block buffers.
+    _CACHE_SLOTS = max(4, 2 * options.pipeline_depth)
+    issued_requests: list[Request] = []
+    fetch_cache: dict = {}
+    cache_sizes: dict = {}
+    live_buffer_bytes = 0.0
+
+    def _cache_lookup(key):
+        hit = fetch_cache.pop(key, None)
+        if hit is not None:
+            fetch_cache[key] = hit  # refresh LRU position
+        return hit
+
+    def _cache_store(key, value, nbytes: float):
+        nonlocal live_buffer_bytes
+        # Evict before inserting: the steady-state bound is _CACHE_SLOTS
+        # buffers (an evicted entry's buffer lives on only while a pipelined
+        # task still references it).
+        while len(fetch_cache) >= _CACHE_SLOTS:
+            old = next(iter(fetch_cache))
+            fetch_cache.pop(old)
+            live_buffer_bytes -= cache_sizes.pop(old)
+        fetch_cache[key] = value
+        cache_sizes[key] = nbytes
+        live_buffer_bytes += nbytes
+        stats.peak_buffer_bytes = max(stats.peak_buffer_bytes,
+                                      live_buffer_bytes)
+
+    def issue_gets(i: int):
+        """Issue nonblocking gets for task i; returns (arrays, requests).
+
+        Cache hits return the previously fetched buffer and (if the
+        transfer is still in flight) its original request to wait on.
+        """
+        arrays: list[Optional[np.ndarray]] = [None, None]
+        reqs: list[Request] = []
+        for slot, (op, ga) in enumerate(zip(plans[i], (a, b))):
+            if op.mode == "get":
+                key = (slot, op.owner,
+                       op.index[0].start, op.index[0].stop,
+                       op.index[1].start, op.index[1].stop)
+                hit = _cache_lookup(key)
+                if hit is not None:
+                    buf, req = hit
+                    arrays[slot] = buf
+                    if not req.done.triggered:
+                        reqs.append(req)
+                    continue
+                nbytes = op.shape[0] * op.shape[1] * itemsize
+                stats.remote_gets += 1
+                stats.bytes_fetched += nbytes
+                if real:
+                    buf = np.empty(op.shape, dtype=c.dtype)
+                    arrays[slot] = buf
+                    req = ga.nb_get_owner_patch(op.owner, op.index, buf)
+                else:
+                    # Match the strided-descriptor cost the data-carrying
+                    # get pays for a sub-block section.
+                    from ..comm.armci import _section_segments
+                    dist = dist_a if slot == 0 else dist_b
+                    owner_shape = dist.block_shape(*dist.coords_of(op.owner))
+                    segs = _section_segments(owner_shape, op.index)
+                    buf = None
+                    req = ctx.armci.nb_get_bytes(op.owner, nbytes,
+                                                 segments=segs)
+                reqs.append(req)
+                issued_requests.append(req)
+                _cache_store(key, (buf, req), nbytes)
+            elif op.mode == "view" and real:
+                arrays[slot] = ga.view_owner_patch(op.owner, op.index)
+        return arrays, reqs
+
+    def acquire_copies(i: int):
+        """Blocking explicit copies for the X1 flavour (generator)."""
+        arrays: list[Optional[np.ndarray]] = [None, None]
+        for slot, (op, ga) in enumerate(zip(plans[i], (a, b))):
+            if op.mode == "copy":
+                key = (slot, op.owner,
+                       op.index[0].start, op.index[0].stop,
+                       op.index[1].start, op.index[1].stop)
+                hit = _cache_lookup(key)
+                if hit is not None:
+                    arrays[slot] = hit[0]
+                    continue
+                nbytes = op.shape[0] * op.shape[1] * itemsize
+                stats.copies += 1
+                stats.bytes_fetched += nbytes
+                t_copy0 = ctx.now
+                if real:
+                    buf = np.empty(op.shape, dtype=c.dtype)
+                    arrays[slot] = buf
+                    yield from ga.copy_owner_patch(op.owner, op.index, buf)
+                else:
+                    buf = None
+                    yield from ctx.shmem.copy_bytes(op.owner, nbytes)
+                stats.comm_time += ctx.now - t_copy0
+                _cache_store(key, (buf, None), nbytes)
+            elif op.mode == "view" and real:
+                arrays[slot] = ga.view_owner_patch(op.owner, op.index)
+        return arrays
+
+    def run_dgemm(i: int, arrays):
+        """The serial kernel for task i (generator)."""
+        task = tasks[i]
+        penalty = plans[i][0].penalty or plans[i][1].penalty
+        stats.flops += task.flops
+        m = task.m_range[1] - task.m_range[0]
+        n = task.n_range[1] - task.n_range[0]
+        kk = task.k_range[1] - task.k_range[0]
+        if real:
+            c_sub = c_local[task.m_range[0] - r_lo:task.m_range[1] - r_lo,
+                            task.n_range[0] - c_lo:task.n_range[1] - c_lo]
+            yield from ctx.dgemm(arrays[0], arrays[1], c_sub,
+                                 transa=transa, transb=transb,
+                                 remote_uncached=penalty, alpha=alpha)
+        else:
+            yield from ctx.dgemm_flops(m, n, kk, remote_uncached=penalty)
+
+    # ----- execution -------------------------------------------------------------
+    needs_get = [any(op.mode == "get" for op in pair) for pair in plans]
+    if flavor == "cluster" and options.dynamic and any(needs_get):
+        yield from _run_dynamic(ctx, tasks, needs_get, issue_gets, run_dgemm,
+                                options.pipeline_depth)
+    elif flavor == "cluster" and options.nonblocking and any(needs_get):
+        # Double-buffered pipeline (paper §3.1 steps 3-4).  The two buffers
+        # belong to the *remote* task subsequence: the first remote task's
+        # gets are issued immediately, so any domain-local tasks at the head
+        # of the list compute while that transfer is in flight ("we do not
+        # have to wait to start the pipeline"); thereafter, reaching remote
+        # task r_t first launches r_{t+1}'s gets (into the other buffer) and
+        # then waits for r_t's own data.
+        remote_seq = [i for i, ng in enumerate(needs_get) if ng]
+        pending: dict[int, tuple] = {remote_seq[0]: issue_gets(remote_seq[0])}
+        next_ptr = 1
+        for i in range(len(tasks)):
+            if needs_get[i]:
+                arrays, reqs = pending.pop(i)
+                if next_ptr < len(remote_seq):
+                    nxt = remote_seq[next_ptr]
+                    pending[nxt] = issue_gets(nxt)
+                    next_ptr += 1
+                yield from ctx.wait_all(reqs)
+            else:
+                arrays, _ = issue_gets(i)  # views only; no requests
+            yield from run_dgemm(i, arrays)
+    else:
+        for i in range(len(tasks)):
+            if flavor == "copy":
+                arrays = yield from acquire_copies(i)
+            else:
+                arrays, reqs = issue_gets(i)
+                for req in reqs:
+                    yield from ctx.wait(req)
+            yield from run_dgemm(i, arrays)
+
+    stats.comm_time += sum(r.duration or 0.0 for r in issued_requests)
+    return stats
+
+
+def _run_dynamic(ctx: RankContext, tasks, needs_get, issue_gets, run_dgemm,
+                 depth: int) -> Generator:
+    """Dynamic schedule: remote prefetch pipeline + local tasks as filler.
+
+    Up to ``depth`` remote tasks have their gets outstanding.  The executor
+    repeatedly picks the first remote task whose data has fully arrived; if
+    none is ready it computes a held-back domain-local task instead, and
+    only blocks when no local filler remains.
+    """
+    remote = [i for i, ng in enumerate(needs_get) if ng]
+    local = [i for i, ng in enumerate(needs_get) if not ng]
+
+    # (task index, arrays, requests) in issue order.
+    inflight: list[tuple[int, list, list]] = []
+    next_remote = 0
+
+    def refill():
+        nonlocal next_remote
+        while next_remote < len(remote) and len(inflight) < depth:
+            idx = remote[next_remote]
+            arrays, reqs = issue_gets(idx)
+            inflight.append((idx, arrays, reqs))
+            next_remote += 1
+
+    refill()
+    local_ptr = 0
+    while inflight or local_ptr < len(local):
+        ready = next((entry for entry in inflight
+                      if all(r.test() for r in entry[2])), None)
+        if ready is not None:
+            inflight.remove(ready)
+            refill()
+            idx, arrays, reqs = ready
+            yield from ctx.wait_all(reqs)  # already done; accounts zero wait
+            yield from run_dgemm(idx, arrays)
+        elif local_ptr < len(local):
+            idx = local[local_ptr]
+            local_ptr += 1
+            arrays, _ = issue_gets(idx)  # views only
+            yield from run_dgemm(idx, arrays)
+        else:
+            # Nothing ready and no filler left: block on the oldest.
+            idx, arrays, reqs = inflight.pop(0)
+            refill()
+            yield from ctx.wait_all(reqs)
+            yield from run_dgemm(idx, arrays)

@@ -1,0 +1,143 @@
+"""Task-list construction for SRUMMA (paper §3.1, step 1).
+
+Each rank owns one block of C ("owner computes") and builds the list of
+block products
+
+    C_ij = sum_k  op(A)_ik  op(B)_kj                        (paper eq. 4)
+
+A :class:`BlockTask` names one such product: a global ``k`` interval plus the
+``m``/``n`` sub-ranges of the C block, and for each operand the owning rank
+and the index of the patch inside that owner's stored block.
+
+The construction is fully general over the four transpose variants and
+rectangular shapes.  The inner (``k``) dimension is cut at the union of both
+operands' ownership breakpoints, so every patch lies inside a single owner
+block; on a square grid with untransposed operands this degenerates to the
+paper's picture — exactly ``q`` gets of A row-blocks and ``p`` gets of B
+column-blocks per process (§2.1).  For transposed operands on non-square
+grids the C-block row/column ranges are additionally segmented so that each
+fetched patch still has a single owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..distarray.distribution import Block2D
+
+__all__ = ["BlockTask", "build_tasks", "k_dimension"]
+
+Range = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One block product contributing to this rank's C block.
+
+    ``m_range``/``n_range`` index the *global* C matrix; ``k_range`` the
+    global inner dimension.  ``a_owner``/``b_owner`` are ranks;
+    ``a_index``/``b_index`` are slices into those owners' stored local
+    blocks (already transposed-aware: apply ``transa/transb`` in dgemm).
+    """
+
+    m_range: Range
+    n_range: Range
+    k_range: Range
+    a_owner: int
+    a_index: tuple[slice, slice]
+    b_owner: int
+    b_index: tuple[slice, slice]
+
+    @property
+    def a_shape(self) -> tuple[int, int]:
+        return (self.a_index[0].stop - self.a_index[0].start,
+                self.a_index[1].stop - self.a_index[1].start)
+
+    @property
+    def b_shape(self) -> tuple[int, int]:
+        return (self.b_index[0].stop - self.b_index[0].start,
+                self.b_index[1].stop - self.b_index[1].start)
+
+    @property
+    def flops(self) -> int:
+        m = self.m_range[1] - self.m_range[0]
+        n = self.n_range[1] - self.n_range[0]
+        k = self.k_range[1] - self.k_range[0]
+        return 2 * m * n * k
+
+
+def k_dimension(dist_a: Block2D, transa: bool) -> int:
+    """The inner dimension contributed by stored A."""
+    return dist_a.m if transa else dist_a.n
+
+
+def _k_breakpoints(dist: Block2D, along_rows: bool) -> list[int]:
+    return dist.row_breakpoints() if along_rows else dist.col_breakpoints()
+
+
+def _segments(lo: int, hi: int, breakpoints: list[int]) -> list[Range]:
+    """Split [lo, hi) at the given sorted breakpoints."""
+    pts = [lo] + [b for b in breakpoints if lo < b < hi] + [hi]
+    return [(pts[i], pts[i + 1]) for i in range(len(pts) - 1)]
+
+
+def build_tasks(dist_a: Block2D, dist_b: Block2D, dist_c: Block2D,
+                transa: bool = False, transb: bool = False,
+                coords: Optional[tuple[int, int]] = None) -> list[BlockTask]:
+    """Tasks computing the C block at grid position ``coords``, ascending k.
+
+    ``coords=None`` (a rank outside the C grid) yields an empty list.
+    """
+    da, db, dc = dist_a, dist_b, dist_c
+
+    # Shape consistency: op(A) is m x k, op(B) is k x n, C is m x n.
+    am = da.n if transa else da.m
+    ak = da.m if transa else da.n
+    bk = db.n if transb else db.m
+    bn = db.m if transb else db.n
+    if am != dc.m or bn != dc.n:
+        raise ValueError(
+            f"outer dims disagree: op(A) {am}x{ak}, op(B) {bk}x{bn}, "
+            f"C {dc.m}x{dc.n}")
+    if ak != bk:
+        raise ValueError(f"inner dims disagree: op(A) k={ak}, op(B) k={bk}")
+
+    if coords is None:
+        return []
+    pi, pj = coords
+    r0, r1 = dc.row_range(pi)
+    c0, c1 = dc.col_range(pj)
+    if r0 == r1 or c0 == c1 or ak == 0:
+        return []
+
+    # k cut at the union of both operands' ownership boundaries.
+    a_kpts = _k_breakpoints(da, along_rows=transa)
+    b_kpts = _k_breakpoints(db, along_rows=not transb)
+    k_cuts = sorted(set(a_kpts) | set(b_kpts))
+    k_ivs = _segments(0, ak, k_cuts)
+
+    # C row range segmented by stored-A's m-partition (non-trivial only for
+    # transposed A on a non-square grid); likewise columns by stored-B's.
+    a_mpts = _k_breakpoints(da, along_rows=not transa)
+    b_npts = _k_breakpoints(db, along_rows=transb)
+    m_segs = _segments(r0, r1, a_mpts)
+    n_segs = _segments(c0, c1, b_npts)
+
+    tasks: list[BlockTask] = []
+    for k_lo, k_hi in k_ivs:
+        for mr in m_segs:
+            # A patch: stored A[mr, k] (N) or A[k, mr] (T).
+            a_rows, a_cols = ((k_lo, k_hi), mr) if transa else (mr, (k_lo, k_hi))
+            a_owner = da.patch_owner(a_rows, a_cols)
+            a_index = da.local_index(a_owner, a_rows, a_cols)
+            for nr in n_segs:
+                b_rows, b_cols = (nr, (k_lo, k_hi)) if transb else ((k_lo, k_hi), nr)
+                b_owner = db.patch_owner(b_rows, b_cols)
+                b_index = db.local_index(b_owner, b_rows, b_cols)
+                tasks.append(BlockTask(
+                    m_range=mr, n_range=nr, k_range=(k_lo, k_hi),
+                    a_owner=a_owner, a_index=a_index,
+                    b_owner=b_owner, b_index=b_index,
+                ))
+    return tasks

@@ -1,0 +1,20 @@
+"""Distributed dense matrices: distributions, GA handles, GA operations."""
+
+from .distribution import Block2D, BlockCyclic2D, IrregularBlock2D, choose_grid
+from .global_array import GlobalArray
+from .ga_ops import (
+    ga_add,
+    ga_copy,
+    ga_dgemm,
+    ga_dot,
+    ga_fill,
+    ga_norm_inf,
+    ga_scale,
+    ga_transpose,
+)
+
+__all__ = [
+    "Block2D", "BlockCyclic2D", "IrregularBlock2D", "choose_grid", "GlobalArray",
+    "ga_add", "ga_copy", "ga_dgemm", "ga_dot", "ga_fill", "ga_norm_inf",
+    "ga_scale", "ga_transpose",
+]

@@ -1,0 +1,19 @@
+"""Platform models: machine specification dataclasses and the paper's four machines."""
+
+from .spec import CpuSpec, MachineSpec, MemorySpec, NetworkSpec
+from .platforms import (
+    CRAY_X1,
+    IBM_SP,
+    IDEAL,
+    INFINIBAND,
+    LINUX_MYRINET,
+    PLATFORMS,
+    SGI_ALTIX,
+    get_platform,
+)
+
+__all__ = [
+    "CpuSpec", "MachineSpec", "MemorySpec", "NetworkSpec",
+    "CRAY_X1", "IBM_SP", "IDEAL", "INFINIBAND", "LINUX_MYRINET", "PLATFORMS", "SGI_ALTIX",
+    "get_platform",
+]

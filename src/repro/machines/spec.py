@@ -1,0 +1,180 @@
+"""Machine specification dataclasses.
+
+A :class:`MachineSpec` captures everything the simulator needs to know about
+a platform: how fast its serial ``dgemm`` kernel runs, how its nodes are laid
+out, what the interconnect costs, and which communication protocols the
+hardware supports (zero-copy NICs, cacheable remote loads, machine-wide
+shared memory).
+
+The four platform instances from the paper live in
+:mod:`repro.machines.platforms`; the fields here are what their calibration
+notes refer to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+__all__ = ["CpuSpec", "NetworkSpec", "MemorySpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Serial kernel model for one processor.
+
+    ``dgemm`` time for an ``m x k`` by ``k x n`` product is::
+
+        2*m*n*k / (flops * efficiency(min_dim))
+
+    where ``efficiency(b) = peak_efficiency * b / (b + small_block_knee)`` —
+    a saturating curve: tiny blocks run far below peak (loop overhead, no
+    cache blocking), large blocks approach ``peak_efficiency`` of ``flops``.
+    """
+
+    flops: float
+    """Peak floating-point rate of one processor, FLOP/s."""
+
+    peak_efficiency: float = 0.90
+    """Fraction of peak the vendor dgemm reaches on large blocks."""
+
+    small_block_knee: int = 32
+    """Block dimension at which efficiency is half of peak_efficiency."""
+
+    uncached_remote_factor: float = 1.0
+    """Kernel speed multiplier when operands live in remote non-cacheable
+    memory (Cray X1 direct-access flavour). 1.0 = no penalty."""
+
+    def dgemm_rate(self, m: int, n: int, k: int, remote_uncached: bool = False) -> float:
+        """Effective FLOP/s for a single block product."""
+        b = max(1, min(m, n, k))
+        eff = self.peak_efficiency * b / (b + self.small_block_knee)
+        rate = self.flops * eff
+        if remote_uncached:
+            rate *= self.uncached_remote_factor
+        return rate
+
+    def dgemm_time(self, m: int, n: int, k: int, remote_uncached: bool = False) -> float:
+        """Seconds to run one ``m x k @ k x n`` block product."""
+        if min(m, n, k) == 0:
+            return 0.0
+        return (2.0 * m * n * k) / self.dgemm_rate(m, n, k, remote_uncached)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect model between nodes (or NUMA bricks)."""
+
+    latency: float
+    """One-way message latency in seconds (the t_s of §2.1) for MPI send."""
+
+    bandwidth: float
+    """Per-NIC (per node, per direction) bandwidth in bytes/s."""
+
+    rma_latency: float = 0.0
+    """Startup latency of an RMA get (request + reply makes it higher than a
+    send for short messages — paper §4.1). Defaults to 2x latency if 0."""
+
+    zero_copy: bool = True
+    """True when the NIC moves payload without host CPU involvement
+    (Myrinet GM); False when the remote host must copy (IBM LAPI)."""
+
+    host_copy_bandwidth: float = 0.0
+    """Bytes/s the host CPU achieves when copying payload between user and
+    DMA buffers (used when zero_copy is False, or when the zero-copy
+    protocol is explicitly disabled, paper Fig. 9)."""
+
+    eager_threshold: int = 16 * 1024
+    """MPI eager->rendezvous protocol switch in bytes (paper Fig. 7)."""
+
+    mpi_overhead: float = 1e-6
+    """Per-message MPI software overhead in seconds on top of latency."""
+
+    rendezvous_handshake: float = 0.0
+    """Extra round-trip cost of the rendezvous RTS/CTS; defaults to
+    2x latency if 0."""
+
+    sg_overhead: float = 0.0
+    """Per-segment startup cost of *strided* (non-contiguous) RMA
+    transfers, seconds per additional segment.  Zero models a NIC with
+    full hardware scatter/gather; software-descriptor NICs pay per row of
+    a sub-block section (ARMCI's strided get/put, the 'Aggregate' in its
+    name)."""
+
+    def __post_init__(self):
+        if self.rma_latency == 0.0:
+            object.__setattr__(self, "rma_latency", 2.0 * self.latency)
+        if self.rendezvous_handshake == 0.0:
+            object.__setattr__(self, "rendezvous_handshake", 2.0 * self.latency)
+        if self.host_copy_bandwidth == 0.0:
+            object.__setattr__(self, "host_copy_bandwidth", 2.0 * self.bandwidth)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Intra-node memory system."""
+
+    copy_bandwidth: float
+    """Single-stream memcpy bandwidth within a node, bytes/s."""
+
+    node_bandwidth: float = 0.0
+    """Aggregate per-node memory bandwidth shared by concurrent copies;
+    defaults to copy_bandwidth * 2 if 0."""
+
+    remote_cacheable: bool = True
+    """Whether remote shared memory can be cached locally. True on SGI Altix
+    (direct access works well), False on Cray X1 (copy first, paper §3.2)."""
+
+    shmem_latency: float = 5e-7
+    """Startup cost of an intra-domain block copy (cache-line fill etc.)."""
+
+    def __post_init__(self):
+        if self.node_bandwidth == 0.0:
+            object.__setattr__(self, "node_bandwidth", 2.0 * self.copy_bandwidth)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One platform: topology + CPU + network + memory models."""
+
+    name: str
+    cpus_per_node: int
+    cpu: CpuSpec
+    network: NetworkSpec
+    memory: MemorySpec
+
+    shared_memory_scope: Literal["node", "machine"] = "node"
+    """'node': shared memory domains are the SMP nodes (clusters).
+    'machine': the whole machine is one shared-memory domain (SGI Altix,
+    Cray X1) — every rank can load/store every other rank's memory."""
+
+    mpi_shared_memory_aware: bool = True
+    """Whether the MPI library routes intra-node messages through shared
+    memory (still with copy overheads) instead of the NIC."""
+
+    description: str = ""
+
+    def __post_init__(self):
+        if self.cpus_per_node < 1:
+            raise ValueError("cpus_per_node must be >= 1")
+
+    # -- convenience -----------------------------------------------------
+    def nodes_for(self, nranks: int) -> int:
+        """Number of nodes needed to host ``nranks`` processes."""
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        return -(-nranks // self.cpus_per_node)
+
+    def with_overrides(self, **kwargs) -> "MachineSpec":
+        """Return a copy with top-level fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def with_network(self, **kwargs) -> "MachineSpec":
+        """Return a copy with network fields replaced (for ablations)."""
+        return replace(self, network=replace(self.network, **kwargs))
+
+    def with_cpu(self, **kwargs) -> "MachineSpec":
+        return replace(self, cpu=replace(self.cpu, **kwargs))
+
+    def with_memory(self, **kwargs) -> "MachineSpec":
+        return replace(self, memory=replace(self.memory, **kwargs))

@@ -1,0 +1,19 @@
+"""Analytic performance model from the paper's §2.1."""
+
+from .efficiency import (
+    ModelParams,
+    efficiency,
+    isoefficiency_problem_size,
+    overlap_degree,
+    speedup,
+    t_comm,
+    t_par_overlap,
+    t_par_rma,
+    t_seq,
+)
+
+__all__ = [
+    "ModelParams", "efficiency", "isoefficiency_problem_size",
+    "overlap_degree", "speedup", "t_comm", "t_par_overlap", "t_par_rma",
+    "t_seq",
+]

@@ -1,0 +1,124 @@
+"""The paper's analytic efficiency model (§2.1).
+
+With unit-time flops, transfer time per element ``t_w`` and startup ``t_s``,
+on a ``sqrt(P) x sqrt(P)`` grid the paper derives (eq. 1)::
+
+    T_par_rma = N^3/P + 2 (N^2/sqrt(P)) t_w + 2 t_s sqrt(P)
+
+parallel efficiency (t_s neglected)::
+
+    eta = 1 / (1 + 2 sqrt(P) t_w / N)
+
+and an O(P^{3/2}) isoefficiency — the same as Cannon's algorithm.  With a
+degree of overlap ``omega`` (0 = fully hidden communication, 1 = none),
+eq. 3 reduces the communication term to ``omega`` of its blocking value.
+
+All functions also take explicit ``alpha`` (seconds per flop) so the model
+can be dimensionalised against a machine spec and compared with simulated
+runs (the model-validation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelParams",
+    "t_seq",
+    "t_comm",
+    "t_par_rma",
+    "t_par_overlap",
+    "speedup",
+    "efficiency",
+    "overlap_degree",
+    "isoefficiency_problem_size",
+]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Dimensional parameters of the §2.1 model."""
+
+    alpha: float = 1.0
+    """Seconds per flop (the paper normalises alpha = 1)."""
+
+    t_w: float = 0.0
+    """Transfer seconds per matrix element."""
+
+    t_s: float = 0.0
+    """Transfer startup seconds (latency)."""
+
+    @classmethod
+    def from_machine(cls, spec, itemsize: int = 8) -> "ModelParams":
+        """Dimensionalise from a machine spec (per-element wire time etc.)."""
+        alpha = 1.0 / (spec.cpu.flops * spec.cpu.peak_efficiency)
+        return cls(alpha=alpha,
+                   t_w=itemsize / spec.network.bandwidth,
+                   t_s=spec.network.rma_latency)
+
+
+def t_seq(n: int, params: ModelParams = ModelParams()) -> float:
+    """Sequential time: N^3 multiply-adds (the paper's unit-cost convention)."""
+    _check(n, 1)
+    return params.alpha * float(n) ** 3
+
+
+def t_comm(n: int, p: int, params: ModelParams) -> float:
+    """Blocking communication time: fetch q A-blocks and p B-blocks (§2.1)."""
+    _check(n, p)
+    rp = math.sqrt(p)
+    return 2.0 * (n * n / rp) * params.t_w + 2.0 * params.t_s * rp
+
+
+def t_par_rma(n: int, p: int, params: ModelParams) -> float:
+    """Eq. 1: parallel time with blocking RMA transfers."""
+    _check(n, p)
+    return t_seq(n, params) / p + t_comm(n, p, params)
+
+
+def t_par_overlap(n: int, p: int, params: ModelParams, omega: float) -> float:
+    """Eq. 3: parallel time when a fraction (1 - omega) of the communication
+    is hidden behind computation.  omega=1 reproduces eq. 1; omega=0 leaves
+    only the startup term (the '100% overlap' limit in the paper)."""
+    _check(n, p)
+    if not (0.0 <= omega <= 1.0):
+        raise ValueError(f"omega must be in [0, 1], got {omega}")
+    rp = math.sqrt(p)
+    comm_bw = 2.0 * (n * n / rp) * params.t_w
+    return t_seq(n, params) / p + omega * comm_bw + 2.0 * params.t_s * rp
+
+
+def speedup(n: int, p: int, params: ModelParams, omega: float = 1.0) -> float:
+    """T_seq / T_par."""
+    return t_seq(n, params) / t_par_overlap(n, p, params, omega)
+
+
+def efficiency(n: int, p: int, params: ModelParams, omega: float = 1.0) -> float:
+    """Parallel efficiency eta = speedup / P; the paper's closed form
+    (t_s neglected, omega=1) is 1 / (1 + 2 sqrt(P) t_w / N)."""
+    return speedup(n, p, params, omega) / p
+
+
+def overlap_degree(t_comp: float, t_comm_: float) -> float:
+    """The paper's omega = 1 - T_comp/T_comm, clamped at 0 (fully hidden)."""
+    if t_comm_ <= 0:
+        return 0.0
+    return max(0.0, 1.0 - t_comp / t_comm_)
+
+
+def isoefficiency_problem_size(p: int, c: float = 1.0) -> float:
+    """Work W = N^3 needed to hold efficiency constant: O(P^{3/2}).
+
+    Returns ``c * p**1.5``; the constant absorbs t_w and the target
+    efficiency.  Used by the model-validation bench to check the simulator
+    scales the same way."""
+    _check(1, p)
+    return c * p ** 1.5
+
+
+def _check(n: int, p: int) -> None:
+    if n < 1:
+        raise ValueError(f"matrix size must be >= 1, got {n}")
+    if p < 1:
+        raise ValueError(f"process count must be >= 1, got {p}")

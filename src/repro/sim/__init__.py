@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Engine`, :class:`~repro.sim.engine.Event`,
+  :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.Process` —
+  the event loop and awaitables.
+- :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Mailbox`,
+  :class:`~repro.sim.resources.TokenBucket` — hardware-ish shared resources.
+- :class:`~repro.sim.network.FlowNetwork`, :class:`~repro.sim.network.Link` —
+  max-min fair flow-level network.
+- :class:`~repro.sim.cluster.Machine`, :class:`~repro.sim.cluster.Node` —
+  a full machine instance built from a :class:`~repro.machines.spec.MachineSpec`.
+- :class:`~repro.sim.trace.Tracer` — time accounting and event logs.
+"""
+
+from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .network import Flow, FlowNetwork, Link
+from .resources import Mailbox, Resource, TokenBucket
+from .cluster import Machine, Node
+from .interference import InterferencePattern, spawn_daemons
+from .trace import TimeBuckets, TraceEvent, Tracer
+
+__all__ = [
+    "AllOf", "AnyOf", "Engine", "Event", "Interrupt", "Process",
+    "SimulationError", "Timeout",
+    "Flow", "FlowNetwork", "Link",
+    "Mailbox", "Resource", "TokenBucket",
+    "Machine", "Node",
+    "InterferencePattern", "spawn_daemons",
+    "TimeBuckets", "TraceEvent", "Tracer",
+]

@@ -1,0 +1,159 @@
+"""Machine instance: nodes, CPUs, NICs, memory controllers, and paths.
+
+A :class:`Machine` turns a :class:`~repro.machines.spec.MachineSpec` plus a
+rank count into live simulation objects:
+
+- one :class:`~repro.sim.resources.Resource` per CPU (rank) — compute and
+  host-copy work serialises here, which is how a non-zero-copy get steals
+  cycles from the remote rank's computation;
+- per node: NIC egress and ingress :class:`~repro.sim.network.Link`\\ s and a
+  memory-controller link, all shared max-min fairly by concurrent flows;
+- path helpers mapping (source rank, destination rank, protocol) to the link
+  path a transfer crosses.
+
+Ranks are assigned to nodes in blocks: ranks ``[i*cpn, (i+1)*cpn)`` live on
+node ``i``.  *Shared-memory domains* equal nodes on clusters and the whole
+machine on scalable shared-memory systems (SGI Altix, Cray X1) — matching the
+paper's note that the Altix was treated as a single 128-CPU domain even
+though it is built from 2-CPU bricks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..machines.spec import MachineSpec
+from .engine import Engine, Event
+from .network import FlowNetwork, Link
+from .resources import Resource
+from .trace import Tracer
+
+__all__ = ["Node", "Machine"]
+
+
+class Node:
+    """One SMP node (or NUMA brick): CPUs + NIC + memory controller."""
+
+    def __init__(self, engine: Engine, index: int, ncpus: int,
+                 nic_bandwidth: float, mem_bandwidth: float):
+        self.index = index
+        self.cpus = [Resource(engine, capacity=1, name=f"node{index}.cpu{i}")
+                     for i in range(ncpus)]
+        self.nic_out = Link(f"node{index}.nic_out", nic_bandwidth)
+        self.nic_in = Link(f"node{index}.nic_in", nic_bandwidth)
+        self.mem = Link(f"node{index}.mem", mem_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} cpus={len(self.cpus)}>"
+
+
+class Machine:
+    """A running simulated machine hosting ``nranks`` processes."""
+
+    def __init__(self, spec: MachineSpec, nranks: int,
+                 engine: Optional[Engine] = None,
+                 tracer: Optional[Tracer] = None):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.spec = spec
+        self.nranks = nranks
+        self.engine = engine if engine is not None else Engine()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.net = FlowNetwork(self.engine)
+        # OS timeslice for CPU occupancy, set by interference injection
+        # (None = compute holds the CPU uninterrupted; daemons then cannot
+        # preempt, which is unrealistic under contention).
+        self.preemption_quantum: Optional[float] = None
+
+        cpn = spec.cpus_per_node
+        nnodes = spec.nodes_for(nranks)
+        self.nodes: list[Node] = []
+        for i in range(nnodes):
+            ncpus = min(cpn, nranks - i * cpn)
+            self.nodes.append(Node(
+                self.engine, i, ncpus,
+                nic_bandwidth=spec.network.bandwidth,
+                mem_bandwidth=spec.memory.node_bandwidth,
+            ))
+
+    # -- topology queries ----------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check_rank(rank)
+        return rank // self.spec.cpus_per_node
+
+    def domain_of(self, rank: int) -> int:
+        """Shared-memory domain id of ``rank`` (paper: 'cluster locality')."""
+        self._check_rank(rank)
+        if self.spec.shared_memory_scope == "machine":
+            return 0
+        return self.node_of(rank)
+
+    def same_domain(self, a: int, b: int) -> bool:
+        """True when ranks a and b can reach each other via load/store."""
+        return self.domain_of(a) == self.domain_of(b)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_in_domain(self, domain: int) -> list[int]:
+        """All ranks belonging to a shared-memory domain."""
+        if self.spec.shared_memory_scope == "machine":
+            if domain != 0:
+                raise ValueError("machine-scope has a single domain 0")
+            return list(range(self.nranks))
+        cpn = self.spec.cpus_per_node
+        return [r for r in range(domain * cpn, min((domain + 1) * cpn, self.nranks))]
+
+    @property
+    def n_domains(self) -> int:
+        if self.spec.shared_memory_scope == "machine":
+            return 1
+        return len(self.nodes)
+
+    def cpu(self, rank: int) -> Resource:
+        """The CPU resource owned by ``rank``."""
+        node = self.nodes[self.node_of(rank)]
+        return node.cpus[rank % self.spec.cpus_per_node]
+
+    # -- transfer paths ------------------------------------------------------
+    def network_path(self, src_rank: int, dst_rank: int) -> list[Link]:
+        """Links crossed by a NIC-level transfer from src's memory to dst's."""
+        sn, dn = self.node_of(src_rank), self.node_of(dst_rank)
+        if sn == dn:
+            # Loopback through the node's memory system.
+            return [self.nodes[sn].mem]
+        return [self.nodes[sn].nic_out, self.nodes[dn].nic_in]
+
+    def shmem_path(self, src_rank: int, dst_rank: int) -> list[Link]:
+        """Links crossed by a direct load/store block copy within a domain.
+
+        Same node: the memory controller.  Different nodes of a machine-wide
+        shared-memory system: the NUMA fabric between the bricks.
+        """
+        if not self.same_domain(src_rank, dst_rank):
+            raise ValueError(
+                f"ranks {src_rank} and {dst_rank} are not in one shared-memory "
+                f"domain on {self.spec.name}")
+        sn, dn = self.node_of(src_rank), self.node_of(dst_rank)
+        if sn == dn:
+            return [self.nodes[sn].mem]
+        return [self.nodes[sn].nic_out, self.nodes[dn].nic_in]
+
+    # -- cost helpers ----------------------------------------------------------
+    def dgemm_time(self, m: int, n: int, k: int, remote_uncached: bool = False) -> float:
+        """Seconds one rank spends in the serial kernel for an m*k @ k*n block."""
+        return self.spec.cpu.dgemm_time(m, n, k, remote_uncached=remote_uncached)
+
+    def transfer(self, nbytes: float, path: Sequence[Link], latency: float = 0.0,
+                 label: str = "") -> Event:
+        """Start a flow on the machine's network; returns its completion event."""
+        return self.net.transfer(nbytes, path, latency=latency, label=label)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Machine {self.spec.name} nranks={self.nranks} "
+                f"nodes={len(self.nodes)}>")

@@ -1,0 +1,436 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the substrate every other subsystem runs on: simulated
+processors, NICs, memory controllers and the communication protocols are all
+expressed as *processes* — plain Python generators that ``yield`` awaitable
+objects (:class:`Timeout`, :class:`Event`, another :class:`Process`, or
+combinators such as :class:`AllOf`).  The engine advances a virtual clock and
+resumes processes in a deterministic order: events scheduled for the same
+simulated time fire in the order they were scheduled (a stable ``(time, seq)``
+heap).  Two identical runs are therefore bit-identical, which the property
+tests rely on.
+
+This is intentionally SimPy-flavoured but written from scratch so the network
+layer can cancel and reschedule in-flight completions when max-min fair
+bandwidth shares change (see :mod:`repro.sim.network`).
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def worker(name, delay):
+...     yield Timeout(delay)
+...     log.append((eng.now, name))
+...     return name
+>>> p1 = eng.spawn(worker("a", 2.0))
+>>> p2 = eng.spawn(worker("b", 1.0))
+>>> eng.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+>>> p1.value
+'a'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (double-triggering events, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _ScheduledCall:
+    """A cancellable callback sitting in the engine's event heap."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    An event starts *pending*; it is completed exactly once with
+    :meth:`succeed` (delivering a value) or :meth:`fail` (delivering an
+    exception).  Processes yielding a pending event are suspended until it
+    completes; yielding an already-completed event resumes the process on the
+    next engine step without advancing time.
+    """
+
+    __slots__ = ("engine", "_callbacks", "_done", "_ok", "_value", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._done = False
+        self._ok = False
+        self._value: Any = None
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        """True when the event completed via :meth:`succeed`."""
+        return self._done and self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value, or the failure exception."""
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        return self._value
+
+    # -- completion ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Complete the event successfully, waking all waiters."""
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Complete the event with an exception; waiters see it raised."""
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._done = True
+        self._ok = False
+        self._value = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            # Callbacks run immediately at the current simulated instant; the
+            # processes they resume re-enter via the engine scheduler so
+            # ordering stays deterministic.
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event completes (or now if done)."""
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay.
+
+    Unlike plain events, a timeout schedules itself as soon as a process
+    yields it (lazily, so constructing one costs nothing until used).
+    """
+
+    __slots__ = ("delay", "_armed")
+
+    def __init__(self, delay: float, value: Any = None, name: str = "timeout"):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        # Engine binding happens at arm time so Timeout(d) can be written
+        # inside process bodies without threading the engine through.
+        super().__init__(engine=None, name=name)  # type: ignore[arg-type]
+        self.delay = float(delay)
+        self._value = value
+        self._armed = False
+
+    def _arm(self, engine: "Engine") -> None:
+        if self._armed:
+            return
+        self._armed = True
+        self.engine = engine
+
+        def fire() -> None:
+            if not self._done:
+                self._done = True
+                self._ok = True
+                self._dispatch()
+
+        engine._schedule(self.delay, fire)
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns.
+
+    The generator's ``return`` value becomes the process's event value, so
+    ``result = yield some_process`` both joins and collects the result.
+    """
+
+    __slots__ = ("gen", "_waiting_on")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
+        super().__init__(engine, name=name)
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        engine._schedule(0.0, lambda: self._resume(None, None))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process blocked on an event is detached from it and resumed with
+        the interrupt; the event itself is unaffected and may still fire.
+        """
+        if self._done:
+            return
+        target = self._waiting_on
+        if target is not None:
+            self._waiting_on = None
+            # Leave a tombstone: when the original event fires, this process
+            # is no longer resumed by it.
+        self.engine._schedule(0.0, lambda: self._resume(None, Interrupt(cause)))
+
+    def _resume(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        engine = self.engine
+        engine._active = self
+        try:
+            while True:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    target = self.gen.throw(exc)
+                else:
+                    target = self.gen.send(send_value)
+                target = _as_event(engine, target)
+                if target.triggered:
+                    if target.ok:
+                        send_value = target.value
+                        continue
+                    throw_exc = target.value
+                    continue
+                self._waiting_on = target
+                me = self
+
+                def on_done(ev: Event, me=me) -> None:
+                    if me._waiting_on is not ev:
+                        return  # interrupted while waiting; stale wakeup
+                    me._waiting_on = None
+                    if ev.ok:
+                        engine._schedule(0.0, lambda: me._resume(ev.value, None))
+                    else:
+                        engine._schedule(0.0, lambda: me._resume(None, ev.value))
+
+                target.add_callback(on_done)
+                return
+        except StopIteration as stop:
+            self._done = True
+            self._ok = True
+            self._value = stop.value
+            self._dispatch()
+        except BaseException as exc:  # noqa: BLE001 - failure is the payload
+            self._done = True
+            self._ok = False
+            self._value = exc
+            had_observers = bool(self._callbacks)
+            self._dispatch()
+            if not had_observers and not engine._suppress_crash(self):
+                raise
+        finally:
+            engine._active = None
+
+
+class AllOf(Event):
+    """Succeeds when all child events succeed; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = "all_of"):
+        super().__init__(engine, name=name)
+        self._children = [_as_event(engine, ev) for ev in events]
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if self._done:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds when the first child completes; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = "any_of"):
+        super().__init__(engine, name=name)
+        self._children = [_as_event(engine, ev) for ev in events]
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=i: self._child_done(i, e))
+
+    def _child_done(self, index: int, ev: Event) -> None:
+        if self._done:
+            return
+        if ev.ok:
+            self.succeed((index, ev.value))
+        else:
+            self.fail(ev.value)
+
+
+def _as_event(engine: "Engine", target: Any) -> Event:
+    """Coerce a yielded object to an engine-bound event."""
+    if isinstance(target, Timeout):
+        target._arm(engine)
+        return target
+    if isinstance(target, Event):
+        if target.engine is None:
+            target.engine = engine
+        return target
+    if isinstance(target, Generator):
+        return engine.spawn(target)
+    raise TypeError(f"process yielded non-awaitable {target!r}")
+
+
+class Engine:
+    """The event loop: a stable priority queue over ``(time, seq)``.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``(time, kind, detail)`` invoked for engine-level
+        happenings; the richer structured tracing lives in
+        :mod:`repro.sim.trace`.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, str, str], None]] = None):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, _ScheduledCall]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+        self._trace = trace
+        self._crashed: list[Process] = []
+        self._step_count = 0
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> _ScheduledCall:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        call = _ScheduledCall(fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, call))
+        return call
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event bound to this engine."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create (and arm) a timeout bound to this engine."""
+        t = Timeout(delay, value)
+        t._arm(self)
+        return t
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        if not isinstance(gen, Generator):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def _suppress_crash(self, proc: Process) -> bool:
+        # A process that dies with no observers is a hard error by default;
+        # run(raise_crashes=False) collects them instead (used by failure-
+        # injection tests).
+        self._crashed.append(proc)
+        return self._collect_crashes
+
+    _collect_crashes = False
+
+    # -- running ----------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_steps: int = 50_000_000,
+            raise_crashes: bool = True) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the final simulated time.  ``max_steps`` is a runaway guard:
+        exceeding it raises :class:`SimulationError`.
+        """
+        self._collect_crashes = not raise_crashes
+        try:
+            while self._heap:
+                t, _seq, call = self._heap[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                if call.cancelled:
+                    continue
+                if t < self.now - 1e-12:
+                    raise SimulationError("event heap time went backwards")
+                self.now = t
+                self._step_count += 1
+                if self._step_count > max_steps:
+                    raise SimulationError(f"exceeded {max_steps} engine steps")
+                call.fn()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._collect_crashes = False
+        return self.now
+
+    @property
+    def crashed_processes(self) -> list[Process]:
+        """Processes that died unobserved during ``run(raise_crashes=False)``."""
+        return list(self._crashed)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live entries in the heap (cancelled entries excluded)."""
+        return sum(1 for _, _, c in self._heap if not c.cancelled)

@@ -1,0 +1,105 @@
+"""System-daemon interference injection (paper §2's asynchrony claim).
+
+The paper argues SRUMMA's lack of sender-receiver synchronisation makes it
+"more suited for the execution environments where the computational threads
+share a CPU with other processes and system daemons (e.g., on commodity
+clusters)", because "synchronization amplifies performance degradations due
+to the nonexclusive use of the processor".
+
+This module injects that environment: per-CPU *daemon* processes that
+periodically seize the CPU resource for short bursts, FIFO-preempting
+whatever computation is queued behind them.  Burst arrival is a
+deterministic pseudo-Poisson process seeded per CPU, so different CPUs
+stall at different instants — which is exactly what synchronised
+algorithms amplify (every barrier or shift waits for the unluckiest rank
+of that round) and an asynchronous one-sided algorithm merely absorbs.
+
+Usage::
+
+    pattern = InterferencePattern(load=0.05, mean_burst=1e-3, seed=1)
+    run = run_parallel(spec, nranks, rank_fn, interference=pattern)
+
+The injected daemons live only while application ranks run; a supervisor
+interrupts them when the last rank finishes so the simulation drains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from .cluster import Machine
+from .engine import Interrupt, Process
+
+__all__ = ["InterferencePattern", "spawn_daemons"]
+
+
+@dataclass(frozen=True)
+class InterferencePattern:
+    """Statistical description of per-CPU daemon activity."""
+
+    load: float = 0.02
+    """Fraction of each CPU stolen on average (0.02 = 2%, a realistic
+    commodity-cluster daemon load)."""
+
+    mean_burst: float = 1e-3
+    """Mean CPU seconds per daemon burst (exponentially distributed)."""
+
+    seed: int = 0
+    """Base seed; each CPU derives its own stream, so bursts across CPUs
+    are independent (the variance synchronised algorithms amplify)."""
+
+    quantum: float = 2e-3
+    """OS timeslice: computation re-queues for its CPU every ``quantum``
+    seconds so daemons can actually preempt (FIFO interleave)."""
+
+    def __post_init__(self):
+        if not (0.0 <= self.load < 1.0):
+            raise ValueError(f"load must be in [0, 1), got {self.load}")
+        if self.mean_burst <= 0:
+            raise ValueError(f"mean_burst must be positive, got {self.mean_burst}")
+        if self.quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {self.quantum}")
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean idle seconds between bursts for the requested load."""
+        if self.load == 0:
+            return float("inf")
+        return self.mean_burst * (1.0 - self.load) / self.load
+
+
+def _daemon(machine: Machine, rank: int,
+            pattern: InterferencePattern) -> Generator:
+    """One CPU's daemon: exponential(gap) sleep, exponential(burst) steal."""
+    rng = random.Random((pattern.seed << 20) ^ (rank * 2654435761 % 2**31))
+    engine = machine.engine
+    cpu = machine.cpu(rank)
+    try:
+        while True:
+            yield engine.timeout(rng.expovariate(1.0 / pattern.mean_gap))
+            burst = rng.expovariate(1.0 / pattern.mean_burst)
+            yield cpu.request()
+            try:
+                yield engine.timeout(burst)
+            finally:
+                cpu.release()
+    except Interrupt:
+        return
+
+
+def spawn_daemons(machine: Machine,
+                  pattern: Optional[InterferencePattern]) -> list[Process]:
+    """Start one daemon per CPU; returns their processes (for interrupts).
+
+    ``pattern=None`` or zero load spawns nothing.
+    """
+    if pattern is None or pattern.load == 0.0:
+        return []
+    machine.preemption_quantum = pattern.quantum
+    return [
+        machine.engine.spawn(_daemon(machine, rank, pattern),
+                             name=f"daemon@{rank}")
+        for rank in range(machine.nranks)
+    ]

@@ -1,0 +1,226 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Transfers (flows) traverse a *path* of directed :class:`Link` resources —
+typically ``[source NIC egress, fabric, destination NIC ingress]``.  At any
+instant the rate of every active flow is the max-min fair allocation computed
+by progressive filling; when a flow starts or finishes, all rates are
+recomputed and in-flight completion events are rescheduled.
+
+This is the mechanism behind the paper's diagonal-shift experiment
+(§3.1, Fig. 4): when all processors of one node fetch from the same remote
+node, their flows share that node's NIC and each progresses at ``1/k`` of the
+link rate; the diagonal shift spreads flows across distinct NIC pairs so each
+gets the full rate.
+
+The model is deliberately flow-level (no packets): transfer time for an
+uncontended flow over a path with bottleneck bandwidth ``B`` and latency
+``L`` is exactly ``L + nbytes / B``, matching the ``t_s + n * t_w`` cost model
+of §2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .engine import Engine, Event, SimulationError, _ScheduledCall
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+# Flows with fewer remaining bytes than this are considered complete; guards
+# against float dust keeping a flow alive forever.  The tolerance must scale
+# with the flow size: every reallocation event settles remaining-bytes with
+# rate*dt arithmetic, so a megabyte flow legitimately accumulates more
+# absolute rounding error than a 100-byte one.
+_EPS_BYTES = 1e-6
+
+
+def _flow_eps(flow: "Flow") -> float:
+    return _EPS_BYTES + 1e-9 * flow.size
+
+
+class Link:
+    """A directed link with fixed capacity in bytes/second."""
+
+    __slots__ = ("name", "bandwidth", "flows", "_bytes_carried")
+
+    def __init__(self, name: str, bandwidth: float):
+        if bandwidth <= 0:
+            raise ValueError(f"link {name!r} needs positive bandwidth, got {bandwidth}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        # Insertion-ordered (dict-as-set): iteration order must be
+        # deterministic and independent of object addresses, or simulated
+        # event ordering would vary with Python allocation history.
+        self.flows: dict["Flow", None] = {}
+        self._bytes_carried = 0.0
+
+    @property
+    def bytes_carried(self) -> float:
+        """Total bytes that have crossed this link (for trace/asserts)."""
+        return self._bytes_carried
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.bandwidth:.3g} B/s, {len(self.flows)} flows>"
+
+
+class Flow:
+    """One in-flight transfer across a path of links."""
+
+    __slots__ = (
+        "size", "remaining", "path", "rate", "done", "started_at",
+        "_sched", "_last_update", "label",
+    )
+
+    def __init__(self, size: float, path: Sequence[Link], done: Event, label: str = ""):
+        self.size = float(size)
+        self.remaining = float(size)
+        self.path = tuple(path)
+        self.rate = 0.0
+        self.done = done
+        self.started_at: float = 0.0
+        self._sched: Optional[_ScheduledCall] = None
+        self._last_update: float = 0.0
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow {self.label!r} {self.remaining:.0f}/{self.size:.0f}B "
+                f"@{self.rate:.3g}B/s>")
+
+
+class FlowNetwork:
+    """Tracks active flows and keeps their rates max-min fair."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        # Insertion-ordered registry of active flows (see Link.flows).
+        self._flows: dict[Flow, None] = {}
+        self.completed_flows = 0
+
+    # -- public API -------------------------------------------------------
+    def transfer(self, nbytes: float, path: Sequence[Link], latency: float = 0.0,
+                 label: str = "") -> Event:
+        """Start a transfer; the returned event fires when the last byte lands.
+
+        ``latency`` is a fixed startup delay (the ``t_s`` term) served before
+        the bandwidth phase begins; it does not consume link capacity.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        done = self.engine.event(f"xfer:{label}")
+        if nbytes == 0:
+            if latency > 0:
+                self.engine._schedule(latency, lambda: done.succeed(0.0))
+            else:
+                done.succeed(0.0)
+            return done
+        if not path:
+            raise ValueError("a nonzero transfer needs a non-empty link path")
+        flow = Flow(nbytes, path, done, label=label)
+        if latency > 0:
+            self.engine._schedule(latency, lambda: self._start_flow(flow))
+        else:
+            self._start_flow(flow)
+        return done
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    # -- internals ----------------------------------------------------------
+    def _start_flow(self, flow: Flow) -> None:
+        flow.started_at = self.engine.now
+        flow._last_update = self.engine.now
+        self._flows[flow] = None
+        for link in flow.path:
+            link.flows[flow] = None
+        self._reallocate()
+
+    def _finish_flow(self, flow: Flow) -> None:
+        if flow not in self._flows:
+            return
+        self._settle()
+        # Tolerate small residue from float arithmetic.
+        if flow.remaining > _flow_eps(flow):
+            raise SimulationError(
+                f"flow {flow.label!r} finished with {flow.remaining} bytes left")
+        self._remove(flow)
+        flow.done.succeed(flow.size)
+        self._reallocate()
+
+    def _remove(self, flow: Flow) -> None:
+        self._flows.pop(flow, None)
+        for link in flow.path:
+            link.flows.pop(flow, None)
+        if flow._sched is not None:
+            flow._sched.cancelled = True
+            flow._sched = None
+        self.completed_flows += 1
+
+    def _settle(self) -> None:
+        """Advance every flow's remaining-bytes to the current instant."""
+        now = self.engine.now
+        for flow in self._flows:
+            dt = now - flow._last_update
+            if dt > 0:
+                moved = flow.rate * dt
+                flow.remaining -= moved
+                for link in flow.path:
+                    link._bytes_carried += moved
+                flow._last_update = now
+            if flow.remaining < 0:
+                flow.remaining = 0.0
+
+    def _reallocate(self) -> None:
+        """Progressive-filling max-min fair rates, then reschedule finishes."""
+        self._settle()
+
+        # Drain any flows that settled to zero before computing new shares.
+        drained = [f for f in self._flows if f.remaining <= _flow_eps(f)]
+        for f in drained:
+            self._remove(f)
+            f.done.succeed(f.size)
+
+        unfrozen: dict[Flow, None] = dict(self._flows)
+        residual = {link: link.bandwidth
+                    for f in unfrozen for link in f.path}
+        link_unfrozen: dict[Link, dict[Flow, None]] = {}
+        for f in unfrozen:
+            for link in f.path:
+                link_unfrozen.setdefault(link, {})[f] = None
+
+        rates: dict[Flow, float] = {}
+        while unfrozen:
+            # Bottleneck link: smallest per-flow fair share among links that
+            # still carry unfrozen flows.
+            bottleneck = None
+            best_share = None
+            for link, fset in link_unfrozen.items():
+                if not fset:
+                    continue
+                share = residual[link] / len(fset)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    bottleneck = link
+            if bottleneck is None:
+                break  # all remaining flows have no constraining link
+            frozen_now = list(link_unfrozen[bottleneck])
+            for f in frozen_now:
+                rates[f] = best_share
+                unfrozen.pop(f, None)
+                for link in f.path:
+                    link_unfrozen[link].pop(f, None)
+                    if link is not bottleneck:
+                        residual[link] -= best_share
+            residual[bottleneck] = 0.0
+            link_unfrozen[bottleneck].clear()
+
+        for flow in self._flows:
+            flow.rate = rates.get(flow, 0.0)
+            if flow._sched is not None:
+                flow._sched.cancelled = True
+                flow._sched = None
+            if flow.rate <= 0:
+                raise SimulationError(
+                    f"flow {flow.label!r} allocated zero rate — disconnected path?")
+            eta = flow.remaining / flow.rate
+            flow._sched = self.engine._schedule(eta, lambda f=flow: self._finish_flow(f))

@@ -1,0 +1,67 @@
+"""Cross-baseline behavioural tests: communication structure, timing shapes."""
+
+import pytest
+
+from repro.baselines import cannon_multiply, fox_multiply, summa_multiply
+from repro.bench import run_matmul
+from repro.machines import IDEAL, LINUX_MYRINET
+
+
+def test_cannon_message_count_matches_structure():
+    """s x s Cannon: skew + (s-1) shift rounds + unskew, two matrices.
+
+    On a 3x3 grid: skew moves A for rows 1,2 (6 ranks) and B for cols 1,2
+    (6 ranks); each of 2 shift rounds moves A and B on all 9 ranks; unskew
+    mirrors the skew.  Every sendrecv is one send."""
+    run = cannon_multiply(IDEAL, 9, 27, 27, 27, payload="synthetic").run
+    sends = run.tracer.counters["mpi_send"]
+    barrier_sends = 9 * 4  # dissemination barrier, ceil(log2 9)=4 rounds
+    skew = 6 + 6
+    shifts = 2 * (9 + 9)
+    unskew = 6 + 6
+    assert sends == barrier_sends + skew + shifts + unskew
+
+
+def test_summa_broadcast_count_scales_with_panels():
+    run8 = summa_multiply(IDEAL, 4, 64, 64, 64, kb=8,
+                          payload="synthetic").run
+    run32 = summa_multiply(IDEAL, 4, 64, 64, 64, kb=32,
+                           payload="synthetic").run
+    # 8 panels vs 2 panels -> ~4x the broadcast messages (minus barrier).
+    barrier = 4 * 2
+    s8 = run8.tracer.counters["mpi_send"] - barrier
+    s32 = run32.tracer.counters["mpi_send"] - barrier
+    assert s8 == 4 * s32
+
+
+def test_fox_vs_cannon_same_volume_different_pattern():
+    """Fox broadcasts A (log-tree) and rolls B; Cannon shifts both.  On the
+    same configuration Fox sends at least as many messages."""
+    fox = fox_multiply(IDEAL, 9, 27, 27, 27, payload="synthetic").run
+    can = cannon_multiply(IDEAL, 9, 27, 27, 27, payload="synthetic").run
+    assert (fox.tracer.counters["mpi_send"]
+            >= can.tracer.counters["mpi_send"] - 24)  # modulo un-skew traffic
+
+
+def test_all_baselines_slower_than_srumma_on_cluster():
+    cfg = dict(payload="synthetic")
+    sr = run_matmul("srumma", LINUX_MYRINET, 16, 1024, **cfg).elapsed
+    for alg in ("cannon", "fox", "summa", "pdgemm"):
+        other = run_matmul(alg, LINUX_MYRINET, 16, 1024, **cfg).elapsed
+        assert other > sr, alg
+
+
+def test_single_rank_degenerates_to_serial_everywhere():
+    """P=1: every algorithm's elapsed approaches the pure kernel time."""
+    kernel = IDEAL.cpu.dgemm_time(64, 64, 64)
+    for alg in ("srumma", "cannon", "fox", "summa", "pdgemm"):
+        t = run_matmul(alg, IDEAL, 1, 64, payload="synthetic").elapsed
+        assert t == pytest.approx(kernel, rel=0.25), alg
+
+
+def test_baselines_have_zero_armci_traffic():
+    """The message-passing baselines must not touch the one-sided layer."""
+    for alg in ("cannon", "fox", "summa", "pdgemm"):
+        run = run_matmul(alg, LINUX_MYRINET, 4, 32).extra  # real payload
+    run = cannon_multiply(LINUX_MYRINET, 4, 32, 32, 32).run
+    assert run.tracer.counters.get("armci_get", 0) == 0

@@ -1,0 +1,64 @@
+"""Tests for the experiment registry and the reproduce CLI command."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.cli import main
+
+
+def test_registry_covers_every_figure_and_table():
+    expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "table1", "diag-shift"}
+    assert expected == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("name", ["fig5", "fig6", "fig7", "fig8"])
+def test_quick_experiments_produce_tables(name):
+    title, headers, rows = run_experiment(name, full=False)
+    assert name.replace("fig", "Fig. ") in title
+    assert rows
+    assert all(len(r) == len(headers) for r in rows)
+
+
+def test_quick_fig9_shape():
+    _, headers, rows = run_experiment("fig9")
+    # zero-copy nonblocking column dominates in every row.
+    zc_nb = headers.index("zc+nb")
+    for row in rows:
+        for j in range(zc_nb + 1, len(row)):
+            assert row[zc_nb] >= row[j]
+
+
+def test_quick_fig10_srumma_wins():
+    _, headers, rows = run_experiment("fig10")
+    ratio = headers.index("ratio")
+    assert all(row[ratio] > 1.0 for row in rows)
+
+
+def test_quick_table1_srumma_wins():
+    _, headers, rows = run_experiment("table1")
+    ratio = headers.index("ratio")
+    assert all(row[ratio] > 1.0 for row in rows)
+
+
+def test_quick_diag_shift_never_hurts():
+    _, headers, rows = run_experiment("diag-shift")
+    speedup = headers.index("speedup")
+    assert all(row[speedup] >= 0.99 for row in rows)
+
+
+def test_cli_reproduce(capsys):
+    assert main(["reproduce", "--experiment", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out
+    assert "quick scale" in out
+
+
+def test_cli_reproduce_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["reproduce", "--experiment", "fig99"])

@@ -1,0 +1,63 @@
+"""Unit tests for the protocol microbenchmarks."""
+
+import pytest
+
+from repro.bench import (
+    bandwidth_sweep,
+    measure_bandwidth,
+    measure_overlap,
+    overlap_sweep,
+)
+from repro.machines import IBM_SP, IDEAL, LINUX_MYRINET
+
+
+class TestBandwidth:
+    def test_large_message_approaches_wire_rate(self):
+        bw = measure_bandwidth(LINUX_MYRINET, "armci_get", 8 << 20)
+        assert bw == pytest.approx(LINUX_MYRINET.network.bandwidth, rel=0.1)
+
+    def test_small_message_latency_bound(self):
+        bw = measure_bandwidth(LINUX_MYRINET, "armci_get", 64)
+        # 64 bytes in ~15 us of startup: far below wire rate.
+        assert bw < 0.05 * LINUX_MYRINET.network.bandwidth
+
+    def test_bandwidth_monotone_in_size(self):
+        series = bandwidth_sweep(LINUX_MYRINET, "armci_get",
+                                 sizes=(1 << 10, 1 << 14, 1 << 18, 1 << 22))
+        values = [bw for _, bw in series]
+        assert values == sorted(values)
+
+    def test_host_assisted_get_capped_by_staging(self):
+        """On the SP (no zero-copy) the get rate never beats min(wire, host)."""
+        bw = measure_bandwidth(IBM_SP, "armci_get", 4 << 20)
+        cap = min(IBM_SP.network.bandwidth,
+                  IBM_SP.network.host_copy_bandwidth)
+        assert bw <= cap * 1.001
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            measure_bandwidth(LINUX_MYRINET, "pigeon", 1024)
+
+    def test_shmem_protocol_measures_intra_domain(self):
+        bw = measure_bandwidth(IBM_SP, "shmem", 1 << 20)
+        # Intra-domain copies run at the memcpy stream rate (+latency).
+        assert bw == pytest.approx(IBM_SP.memory.copy_bandwidth, rel=0.1)
+
+
+class TestOverlap:
+    def test_armci_full_overlap_on_ideal(self):
+        assert measure_overlap(IDEAL, "armci_get", 1 << 20) > 0.99
+
+    def test_overlap_values_bounded(self):
+        for s, ov in overlap_sweep(LINUX_MYRINET, "mpi",
+                                   sizes=(1 << 12, 1 << 16, 1 << 20)):
+            assert 0.0 <= ov <= 1.0
+
+    def test_overlap_rejects_other_protocols(self):
+        with pytest.raises(ValueError, match="overlap defined"):
+            measure_overlap(LINUX_MYRINET, "shmem", 1024)
+
+    def test_mpi_overlap_eager_vs_rendezvous_ordering(self):
+        eager = measure_overlap(LINUX_MYRINET, "mpi", 8 << 10)
+        rndv = measure_overlap(LINUX_MYRINET, "mpi", 128 << 10)
+        assert eager > rndv + 0.5

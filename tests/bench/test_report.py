@@ -1,0 +1,62 @@
+"""Tests for the table/CSV reporting helpers."""
+
+import pytest
+
+from repro.bench import fmt_bytes, format_table, paper_vs_measured, to_csv
+
+
+def test_format_table_basic():
+    out = format_table(["a", "bb"], [[1, 2.5], [33, 4.0]])
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "bb"]
+    assert "--" in lines[1]
+    assert lines[2].split() == ["1", "2.5"]
+    assert lines[3].split() == ["33", "4"]
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="hello")
+    assert out.startswith("== hello ==")
+
+
+def test_format_table_column_alignment():
+    out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+    lines = out.splitlines()
+    # Header padded to the widest cell.
+    assert len(lines[1]) == len("a-much-longer-cell")
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[0.000123], [123456.0], [1.5], [0.0]])
+    body = out.splitlines()[2:]
+    assert body[0].strip() == "0.000123"
+    assert body[1].strip() == "1.23e+05"
+    assert body[2].strip() == "1.5"
+    assert body[3].strip() == "0"
+
+
+def test_to_csv():
+    csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert csv == "a,b\n1,2\n3,4\n"
+
+
+def test_to_csv_width_mismatch():
+    with pytest.raises(ValueError):
+        to_csv(["a"], [[1, 2]])
+
+
+def test_paper_vs_measured():
+    row = paper_vs_measured("fig10/altix", 20.0, 2.6)
+    assert "paper=20" in row and "measured=2.6" in row
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2KB"
+    assert fmt_bytes(1 << 20) == "1MB"
+    assert fmt_bytes(3 * (1 << 20)) == "3MB"

@@ -1,0 +1,67 @@
+"""Tests for the experiment driver."""
+
+import pytest
+
+from repro.bench import default_nb, run_matmul, sweep
+from repro.machines import IDEAL, LINUX_MYRINET
+
+
+def test_run_matmul_dispatches_all_algorithms():
+    for alg in ("srumma", "pdgemm", "summa", "cannon"):
+        point = run_matmul(alg, LINUX_MYRINET, 4, 24)
+        assert point.algorithm == alg
+        assert point.gflops > 0
+        assert point.m == point.n == point.k == 24
+
+
+def test_run_matmul_rectangular_defaults():
+    point = run_matmul("srumma", LINUX_MYRINET, 4, 16, 8, 12)
+    assert (point.m, point.n, point.k) == (16, 8, 12)
+
+
+def test_run_matmul_unknown_algorithm():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        run_matmul("strassen", LINUX_MYRINET, 4, 16)
+
+
+def test_summa_rejects_transpose():
+    with pytest.raises(ValueError, match="NN"):
+        run_matmul("summa", LINUX_MYRINET, 4, 16, transa=True)
+
+
+def test_cannon_rejects_transpose():
+    with pytest.raises(ValueError, match="NN"):
+        run_matmul("cannon", LINUX_MYRINET, 4, 16, transb=True)
+
+
+def test_real_payload_with_verification():
+    point = run_matmul("srumma", LINUX_MYRINET, 4, 16, payload="real",
+                       verify=True)
+    assert point.gflops > 0
+
+
+def test_sweep_shape():
+    points = sweep(["srumma", "pdgemm"], LINUX_MYRINET, [16, 24], 4)
+    assert len(points) == 4
+    assert {(p.algorithm, p.m) for p in points} == {
+        ("srumma", 16), ("pdgemm", 16), ("srumma", 24), ("pdgemm", 24)}
+
+
+def test_point_label():
+    p = run_matmul("srumma", IDEAL, 2, 8, transa=True)
+    assert "TN" in p.label
+    assert "ideal" in p.label
+
+
+def test_default_nb_bounds():
+    assert default_nb(100, 4) == 32      # floor
+    assert default_nb(100000, 4) == 256  # cap
+    assert 1 <= default_nb(10, 64) <= 10
+    # Never exceeds the matrix.
+    assert default_nb(5, 1) == 5
+
+
+def test_determinism_across_calls():
+    a = run_matmul("pdgemm", LINUX_MYRINET, 8, 64)
+    b = run_matmul("pdgemm", LINUX_MYRINET, 8, 64)
+    assert a.elapsed == b.elapsed

@@ -1,0 +1,287 @@
+"""Tests for the ARMCI one-sided communication layer."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.machines import IDEAL, LINUX_MYRINET, SGI_ALTIX
+
+
+def test_malloc_registers_per_rank_segments():
+    seen = {}
+
+    def prog(ctx):
+        arr = ctx.armci.malloc("x", (4, 4))
+        arr[...] = ctx.rank
+        seen[ctx.rank] = arr
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    assert set(seen) == {0, 1, 2, 3}
+    for r, arr in seen.items():
+        assert np.all(arr == r)
+
+
+def test_double_malloc_same_key_raises():
+    def prog(ctx):
+        ctx.armci.malloc("x", (2,))
+        with pytest.raises(CommError):
+            ctx.armci.malloc("x", (2,))
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 1, prog)
+
+
+def test_blocking_get_moves_data_across_nodes():
+    def prog(ctx):
+        local = ctx.armci.malloc("seg", (8,))
+        local[...] = 100 + ctx.rank
+        yield from ctx.mpi.barrier()
+        out = np.zeros(8)
+        if ctx.rank == 0:
+            # Rank 3 is on the second node of the 2-way-node Linux cluster.
+            yield from ctx.armci.get(3, "seg", out)
+            assert np.all(out == 103)
+        return out
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_get_section_with_indices():
+    def prog(ctx):
+        local = ctx.armci.malloc("m", (6, 6))
+        local[...] = np.arange(36).reshape(6, 6) + 100 * ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((2, 3))
+            yield from ctx.armci.get(
+                2, "m", out, src_index=(slice(1, 3), slice(2, 5)))
+            expected = (np.arange(36).reshape(6, 6) + 200)[1:3, 2:5]
+            assert np.array_equal(out, expected)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_get_into_subsection_of_out_buffer():
+    def prog(ctx):
+        local = ctx.armci.malloc("m", (4,))
+        local[...] = ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.full((2, 4), -1.0)
+            yield from ctx.armci.get(1, "m", out, out_index=(1, slice(None)))
+            assert np.all(out[0] == -1)
+            assert np.all(out[1] == 1)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_get_shape_mismatch_raises():
+    def prog(ctx):
+        ctx.armci.malloc("m", (4,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(5)
+            with pytest.raises(CommError, match="shape"):
+                ctx.armci.nb_get(1, "m", out)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_get_unregistered_segment_raises():
+    def prog(ctx):
+        yield ctx.engine.timeout(0.0)
+        if ctx.rank == 0:
+            with pytest.raises(CommError, match="no segment"):
+                ctx.armci.nb_get(1, "nope", np.zeros(1))
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_put_moves_data():
+    segs = {}
+
+    def prog(ctx):
+        segs[ctx.rank] = ctx.armci.malloc("s", (4,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ctx.armci.put(1, "s", np.full(4, 7.0))
+        yield from ctx.mpi.barrier()
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+    assert np.all(segs[1] == 7.0)
+
+
+def test_put_section():
+    segs = {}
+
+    def prog(ctx):
+        segs[ctx.rank] = ctx.armci.malloc("s", (4, 4))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ctx.armci.put(
+                1, "s", np.ones((2, 2)), dst_index=(slice(0, 2), slice(2, 4)))
+        yield from ctx.mpi.barrier()
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+    assert np.all(segs[1][0:2, 2:4] == 1.0)
+    assert np.all(segs[1][2:, :] == 0.0)
+
+
+def test_payload_snapshot_at_issue_time():
+    """A get sees the source as it was when issued, not at delivery."""
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (4,))
+        local[...] = ctx.rank + 1.0
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(4)
+            req = ctx.armci.nb_get(1, "s", out)
+            yield from ctx.wait(req)
+            assert np.all(out == 2.0)
+        else:
+            # Mutate strictly after the get was issued (the transfer takes
+            # much longer than 1 ns): the in-flight get must still deliver
+            # the issue-time snapshot, not the mutated data.
+            yield ctx.engine.timeout(1e-9)
+            local[...] = -999.0
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_nonblocking_get_overlaps_with_compute():
+    """Zero-copy remote get: computing while the wire transfer runs."""
+    nbytes = 1 << 20  # 1 MiB
+    spec = LINUX_MYRINET
+    wire = nbytes / spec.network.bandwidth + spec.network.rma_latency
+    times = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (nbytes // 8,))
+        local[...] = ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(nbytes // 8)
+            t0 = ctx.now
+            req = ctx.armci.nb_get(2, "s", out)  # rank 2 = other node
+            yield from ctx.compute(wire)  # compute as long as the wire takes
+            yield from ctx.wait(req)
+            times["total"] = ctx.now - t0
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(spec, 4, prog)
+    # Full overlap: total ~ compute time, not compute + wire.
+    assert times["total"] == pytest.approx(wire, rel=0.05)
+
+
+def test_blocking_get_does_not_overlap():
+    nbytes = 1 << 20
+    spec = LINUX_MYRINET
+    wire = nbytes / spec.network.bandwidth + spec.network.rma_latency
+    times = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (nbytes // 8,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(nbytes // 8)
+            t0 = ctx.now
+            yield from ctx.armci.get(2, "s", out)
+            yield from ctx.compute(wire)
+            times["total"] = ctx.now - t0
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(spec, 4, prog)
+    assert times["total"] == pytest.approx(2 * wire, rel=0.05)
+
+
+def test_host_assisted_get_steals_target_cpu():
+    """With zero-copy disabled, the target's compute is delayed by the copy."""
+    nbytes = 8 << 20
+    spec = LINUX_MYRINET.with_network(zero_copy=False)
+    copy_time = nbytes / spec.network.host_copy_bandwidth
+    target_elapsed = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (nbytes // 8,))
+        yield from ctx.mpi.barrier()
+        t0 = ctx.now
+        if ctx.rank == 0:
+            out = np.zeros(nbytes // 8)
+            yield from ctx.armci.get(2, "s", out)
+        elif ctx.rank == 2:
+            # Busy compute loop in small slices so the host copy can be
+            # interleaved FIFO between slices.
+            for _ in range(100):
+                yield from ctx.compute(copy_time / 100)
+            target_elapsed["t"] = ctx.now - t0
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(spec, 4, prog)
+    # Target's 100 compute slices take their own time plus the stolen copy.
+    assert target_elapsed["t"] >= copy_time * 1.5
+
+
+def test_same_domain_get_uses_memory_not_nic():
+    """Intra-node get must not touch the NICs."""
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (1024,))
+        local[...] = ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(1024)
+            yield from ctx.armci.get(1, "s", out)  # rank 1 = same node
+            assert np.all(out == 1)
+
+    run = run_parallel(LINUX_MYRINET, 2, prog)
+    node0 = run.machine.nodes[0]
+    assert node0.nic_out.bytes_carried == 0
+    assert node0.mem.bytes_carried > 0
+
+
+def test_machine_scope_domain_spans_all_ranks():
+    """On the Altix every rank pair is one shared-memory domain."""
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (16,))
+        local[...] = ctx.rank
+        yield from ctx.mpi.barrier()
+        assert ctx.armci.same_domain((ctx.rank + 7) % ctx.nranks)
+        out = np.zeros(16)
+        yield from ctx.armci.get((ctx.rank + 1) % ctx.nranks, "s", out)
+        assert np.all(out == (ctx.rank + 1) % ctx.nranks)
+
+    run_parallel(SGI_ALTIX, 8, prog)
+
+
+def test_domain_ranks_query():
+    domains = {}
+
+    def prog(ctx):
+        domains[ctx.rank] = ctx.armci.domain_ranks()
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 6, prog)  # 2-way nodes
+    assert domains[0] == [0, 1]
+    assert domains[3] == [2, 3]
+    assert domains[4] == [4, 5]
+
+
+def test_get_latency_charged():
+    """A tiny remote get costs at least the RMA startup latency."""
+    spec = IDEAL
+    times = {}
+
+    def prog(ctx):
+        ctx.armci.malloc("s", (1,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            t0 = ctx.now
+            out = np.zeros(1)
+            yield from ctx.armci.get(1, "s", out)
+            times["get"] = ctx.now - t0
+
+    run_parallel(spec, 2, prog)
+    assert times["get"] >= spec.network.rma_latency

@@ -1,0 +1,184 @@
+"""Tests for ARMCI accumulate, read-modify-write, and fence."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+class TestAccumulate:
+    def test_blocking_acc_adds(self):
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                yield from ctx.armci.acc(1, "s", np.full(4, 2.0))
+                yield from ctx.armci.acc(1, "s", np.full(4, 3.0))
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+        assert np.all(segs[1] == 5.0)
+
+    def test_acc_with_scale(self):
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                yield from ctx.armci.acc(1, "s", np.ones(4), scale=-2.5)
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+        assert np.all(segs[1] == -2.5)
+
+    def test_concurrent_accs_from_all_ranks_all_land(self):
+        """Element-atomicity: N ranks accumulating 1.0 yields exactly N."""
+        segs = {}
+        nranks = 8
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (16,))
+            yield from ctx.mpi.barrier()
+            yield from ctx.armci.acc(0, "s", np.ones(16))
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, nranks, prog)
+        assert np.all(segs[0] == nranks)
+
+    def test_acc_section(self):
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (4, 4))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                yield from ctx.armci.acc(
+                    1, "s", np.ones((2, 2)), dst_index=(slice(0, 2), slice(2, 4)))
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+        assert np.all(segs[1][0:2, 2:4] == 1.0)
+        assert segs[1].sum() == 4.0
+
+    def test_acc_shape_mismatch_raises(self):
+        def prog(ctx):
+            ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                with pytest.raises(CommError, match="acc shape"):
+                    ctx.armci.nb_acc(1, "s", np.ones(5))
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+    def test_acc_snapshot_semantics(self):
+        """Mutating the source after nb_acc must not change what lands."""
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                data = np.full(4, 7.0)
+                req = ctx.armci.nb_acc(1, "s", data)
+                data[...] = -1.0
+                yield from ctx.wait(req)
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+        assert np.all(segs[1] == 7.0)
+
+    def test_acc_works_on_shared_memory_machine(self):
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            yield from ctx.armci.acc((ctx.rank + 1) % ctx.nranks, "s",
+                                     np.ones(4))
+            yield from ctx.mpi.barrier()
+
+        run_parallel(SGI_ALTIX, 4, prog)
+        for r in range(4):
+            assert np.all(segs[r] == 1.0)
+
+
+class TestRmw:
+    def test_fetch_add_returns_old_values_uniquely(self):
+        """The canonical ARMCI_Rmw use: a global work counter — every rank
+        must draw distinct values."""
+        drawn = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.armci.rmw_counter("next_task", initial=0)
+            yield from ctx.mpi.barrier()
+            mine = []
+            for _ in range(3):
+                v = yield from ctx.armci.rmw_fetch_add(0, "next_task", 1)
+                mine.append(v)
+            drawn[ctx.rank] = mine
+
+        run_parallel(LINUX_MYRINET, 6, prog)
+        all_values = sorted(v for vs in drawn.values() for v in vs)
+        assert all_values == list(range(18))
+
+    def test_unknown_counter_raises(self):
+        def prog(ctx):
+            yield from ctx.mpi.barrier()
+            with pytest.raises(CommError, match="no counter"):
+                yield from ctx.armci.rmw_fetch_add(0, "nope")
+
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+    def test_duplicate_counter_raises(self):
+        def prog(ctx):
+            ctx.armci.rmw_counter("c")
+            with pytest.raises(CommError, match="already exists"):
+                ctx.armci.rmw_counter("c")
+            yield from ctx.mpi.barrier()
+
+        run_parallel(LINUX_MYRINET, 1, prog)
+
+
+class TestFence:
+    def test_fence_completes_outstanding_puts(self):
+        segs = {}
+
+        def prog(ctx):
+            segs[ctx.rank] = ctx.armci.malloc("s", (1024,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                reqs = [ctx.armci.nb_put(2, "s", np.full(1024, float(i)))
+                        for i in range(3)]
+                yield from ctx.armci.fence(2)
+                assert all(r.test() for r in reqs)
+                # The last put's data is in place at the target.
+                assert np.all(segs[2] == 2.0)
+
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+    def test_fence_all_targets(self):
+        def prog(ctx):
+            ctx.armci.malloc("s", (64,))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                r1 = ctx.armci.nb_put(1, "s", np.ones(64))
+                r2 = ctx.armci.nb_acc(2, "s", np.ones(64))
+                yield from ctx.armci.fence()
+                assert r1.test() and r2.test()
+
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+    def test_fence_with_nothing_outstanding_is_instant(self):
+        def prog(ctx):
+            ctx.armci.malloc("s", (4,))
+            yield from ctx.mpi.barrier()
+            t0 = ctx.now
+            yield from ctx.armci.fence()
+            assert ctx.now == t0
+
+        run_parallel(LINUX_MYRINET, 2, prog)

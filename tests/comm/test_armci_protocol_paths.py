@@ -1,0 +1,144 @@
+"""Additional ARMCI protocol-path coverage: host-assisted puts, byte-level
+puts, out_index combinations, locality queries, request metadata."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.machines import CRAY_X1, LINUX_MYRINET
+
+NO_ZC = LINUX_MYRINET.with_network(zero_copy=False)
+
+
+def test_host_assisted_put_moves_data():
+    segs = {}
+
+    def prog(ctx):
+        segs[ctx.rank] = ctx.armci.malloc("s", (256,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ctx.armci.put(2, "s", np.full(256, 3.0))
+        yield from ctx.mpi.barrier()
+
+    run_parallel(NO_ZC, 4, prog)
+    assert np.all(segs[2] == 3.0)
+
+
+def test_host_assisted_put_charges_target_copy_time():
+    def prog(ctx):
+        ctx.armci.malloc("s", (1 << 17,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ctx.armci.put(2, "s", np.ones(1 << 17))
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(NO_ZC, 4, prog)
+    # The target (rank 2) paid 'copy' time for the staging.
+    assert run.tracer.buckets(2).copy > 0
+
+
+def test_nb_put_bytes_timing_only():
+    times = {}
+
+    def prog(ctx):
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            req = ctx.armci.nb_put_bytes(2, 1 << 20)
+            yield from ctx.wait(req)
+            times["dt"] = ctx.now
+            assert req.nbytes == 1 << 20
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    wire = (1 << 20) / LINUX_MYRINET.network.bandwidth
+    assert times["dt"] >= wire
+
+
+def test_negative_byte_sizes_rejected():
+    def prog(ctx):
+        yield ctx.engine.timeout(0.0)
+        with pytest.raises(ValueError):
+            ctx.armci.nb_get_bytes(0, -1.0)
+        with pytest.raises(ValueError):
+            ctx.armci.nb_put_bytes(0, -1.0)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_get_with_both_src_and_out_indices():
+    def prog(ctx):
+        local = ctx.armci.malloc("m", (6, 6))
+        local[...] = np.arange(36.0).reshape(6, 6) + 100 * ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.full((4, 4), -1.0)
+            yield from ctx.armci.get(
+                2, "m", out,
+                src_index=(slice(0, 2), slice(0, 2)),
+                out_index=(slice(2, 4), slice(2, 4)))
+            expected = np.arange(36.0).reshape(6, 6)[0:2, 0:2] + 200
+            assert np.array_equal(out[2:4, 2:4], expected)
+            assert np.all(out[0:2, :] == -1.0)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_request_duration_metadata():
+    durations = {}
+
+    def prog(ctx):
+        ctx.armci.malloc("s", (1 << 15,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            req = ctx.armci.nb_get_bytes(2, float(1 << 18))
+            assert req.duration is None  # still pending
+            yield from ctx.wait(req)
+            durations["d"] = req.duration
+            assert req.completed_at is not None
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    wire = (1 << 18) / LINUX_MYRINET.network.bandwidth
+    assert durations["d"] >= wire
+
+
+def test_domain_queries_on_machine_scope():
+    def prog(ctx):
+        yield ctx.engine.timeout(0.0)
+        assert ctx.armci.domain_of(7) == 0
+        assert ctx.armci.same_domain(7)
+        assert ctx.armci.domain_ranks() == list(range(8))
+
+    run_parallel(CRAY_X1, 8, prog)
+
+
+def test_put_snapshot_semantics():
+    segs = {}
+
+    def prog(ctx):
+        segs[ctx.rank] = ctx.armci.malloc("s", (8,))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            data = np.full(8, 5.0)
+            req = ctx.armci.nb_put(2, "s", data)
+            data[...] = -1.0  # mutate after issue
+            yield from ctx.wait(req)
+        yield from ctx.mpi.barrier()
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    assert np.all(segs[2] == 5.0)
+
+
+def test_concurrent_gets_from_many_ranks_all_deliver():
+    results = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("s", (64,))
+        local[...] = float(ctx.rank)
+        yield from ctx.mpi.barrier()
+        out = np.zeros(64)
+        target = (ctx.rank + ctx.nranks // 2) % ctx.nranks
+        yield from ctx.armci.get(target, "s", out)
+        results[ctx.rank] = (target, out[0])
+
+    run_parallel(LINUX_MYRINET, 8, prog)
+    for rank, (target, val) in results.items():
+        assert val == float(target)

@@ -1,0 +1,83 @@
+"""Tests for deadlock detection and diagnostics in run_parallel."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.machines import LINUX_MYRINET
+
+
+def test_deadlock_reports_blocked_ranks():
+    def prog(ctx):
+        if ctx.rank == 0:
+            out = np.zeros(1)
+            yield from ctx.mpi.recv(out, src=1, tag=7)  # never sent
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    with pytest.raises(CommError, match="rank 0 blocked on"):
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_deadlock_counts_all_stuck_ranks():
+    def prog(ctx):
+        # Everyone waits for a message from the next rank that never comes.
+        out = np.zeros(1)
+        yield from ctx.mpi.recv(out, src=(ctx.rank + 1) % ctx.nranks, tag=1)
+
+    with pytest.raises(CommError, match="4/4 ranks still blocked"):
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_mismatched_barrier_is_a_deadlock():
+    def prog(ctx):
+        if ctx.rank < 3:
+            yield from ctx.mpi.barrier()
+        else:
+            yield ctx.engine.timeout(0.0)  # rank 3 skips the barrier
+
+    with pytest.raises(CommError, match="deadlock"):
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_rank_exception_propagates_with_type():
+    def prog(ctx):
+        yield ctx.engine.timeout(0.0)
+        if ctx.rank == 1:
+            raise RuntimeError("rank 1 exploded")
+
+    with pytest.raises(RuntimeError, match="rank 1 exploded"):
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_partial_bcast_group_is_a_deadlock():
+    """Rendezvous-sized payload: the root's send to the missing member
+    blocks forever.  (An eager-sized payload would NOT deadlock — small
+    sends complete locally, correct MPI semantics.)"""
+    n = LINUX_MYRINET.network.eager_threshold  # bytes -> n/8 doubles * 8 > thr
+
+    def prog(ctx):
+        if ctx.rank in (0, 1):
+            buf = np.zeros(n)  # n doubles = 8x the eager threshold
+            yield from ctx.mpi.bcast(buf, root=0, group=[0, 1, 2])
+        else:
+            yield ctx.engine.timeout(0.0)  # rank 2 never joins
+
+    with pytest.raises(CommError, match="deadlock"):
+        run_parallel(LINUX_MYRINET, 3, prog)
+
+
+def test_eager_partial_bcast_completes():
+    """The eager counterpart: buffered sends let the root finish even if a
+    group member never receives."""
+    def prog(ctx):
+        if ctx.rank in (0, 1):
+            buf = np.zeros(4)
+            if ctx.rank == 0:
+                buf[...] = 1.0
+            yield from ctx.mpi.bcast(buf, root=0, group=[0, 1, 2])
+            assert np.all(buf == 1.0)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 3, prog)

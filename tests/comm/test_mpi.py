@@ -1,0 +1,303 @@
+"""Tests for the two-sided MPI model."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ANY_SOURCE, ANY_TAG, CommError, run_parallel
+from repro.machines import IDEAL, LINUX_MYRINET
+
+EAGER = LINUX_MYRINET.network.eager_threshold
+
+
+def test_blocking_send_recv_small_message():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, np.arange(8.0), tag=5)
+        else:
+            out = np.zeros(8)
+            src, tag, nbytes = yield from ctx.mpi.recv(out, src=0, tag=5)
+            assert (src, tag) == (0, 5)
+            assert nbytes == 64
+            assert np.array_equal(out, np.arange(8.0))
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_blocking_send_recv_rendezvous_message():
+    n = (EAGER // 8) * 4  # well above the eager threshold
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(2, np.full(n, 3.5))
+        elif ctx.rank == 2:
+            out = np.zeros(n)
+            yield from ctx.mpi.recv(out, src=0)
+            assert np.all(out == 3.5)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_messages_from_same_sender_keep_order():
+    def prog(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                yield from ctx.mpi.send(1, np.full(4, float(i)), tag=7)
+        else:
+            seen = []
+            for _ in range(5):
+                out = np.zeros(4)
+                yield from ctx.mpi.recv(out, src=0, tag=7)
+                seen.append(out[0])
+            assert seen == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_tag_matching_selects_correct_message():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, np.full(2, 1.0), tag=10)
+            yield from ctx.mpi.send(1, np.full(2, 2.0), tag=20)
+        else:
+            out = np.zeros(2)
+            yield from ctx.mpi.recv(out, src=0, tag=20)
+            assert np.all(out == 2.0)
+            yield from ctx.mpi.recv(out, src=0, tag=10)
+            assert np.all(out == 1.0)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_wildcard_source_and_tag():
+    def prog(ctx):
+        if ctx.rank == 0:
+            out = np.zeros(1)
+            src, tag, _ = yield from ctx.mpi.recv(out, src=ANY_SOURCE, tag=ANY_TAG)
+            assert src in (1, 2)
+            assert np.all(out == src)
+        else:
+            yield from ctx.mpi.send(0, np.full(1, float(ctx.rank)), tag=ctx.rank)
+
+    run_parallel(LINUX_MYRINET, 3, prog)
+
+
+def test_recv_buffer_size_mismatch_raises():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, np.zeros(4))
+        else:
+            out = np.zeros(6)
+            with pytest.raises(CommError, match="buffer size"):
+                yield from ctx.mpi.recv(out, src=0)
+
+    with pytest.raises(CommError):
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_sendrecv_ring_shift():
+    def prog(ctx):
+        n = ctx.nranks
+        data = np.full(4, float(ctx.rank))
+        out = np.zeros(4)
+        dst = (ctx.rank + 1) % n
+        src = (ctx.rank - 1) % n
+        yield from ctx.mpi.sendrecv(dst, data, src, out, send_tag=3, recv_tag=3)
+        assert np.all(out == src)
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+
+
+def test_sendrecv_large_messages_no_deadlock():
+    n = (EAGER // 8) * 8
+
+    def prog(ctx):
+        data = np.full(n, float(ctx.rank))
+        out = np.zeros(n)
+        dst = (ctx.rank + 1) % ctx.nranks
+        src = (ctx.rank - 1) % ctx.nranks
+        yield from ctx.mpi.sendrecv(dst, data, src, out)
+        assert np.all(out == src)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8, 13])
+def test_bcast_all_group_sizes(nranks):
+    def prog(ctx):
+        buf = np.zeros(16)
+        if ctx.rank == 0:
+            buf[...] = np.arange(16.0)
+        yield from ctx.mpi.bcast(buf, root=0)
+        assert np.array_equal(buf, np.arange(16.0))
+
+    run_parallel(LINUX_MYRINET, nranks, prog)
+
+
+@pytest.mark.parametrize("root", [0, 1, 3, 6])
+def test_bcast_nonzero_root(root):
+    def prog(ctx):
+        buf = np.zeros(4)
+        if ctx.rank == root:
+            buf[...] = 42.0
+        yield from ctx.mpi.bcast(buf, root=root)
+        assert np.all(buf == 42.0)
+
+    run_parallel(LINUX_MYRINET, 7, prog)
+
+
+def test_bcast_subgroup():
+    group = [1, 3, 5]
+
+    def prog(ctx):
+        if ctx.rank in group:
+            buf = np.zeros(4)
+            if ctx.rank == 3:
+                buf[...] = 9.0
+            yield from ctx.mpi.bcast(buf, root=3, group=group)
+            assert np.all(buf == 9.0)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+
+
+def test_bcast_rank_outside_group_raises():
+    def prog(ctx):
+        if ctx.rank == 0:
+            with pytest.raises(CommError, match="not in broadcast group"):
+                yield from ctx.mpi.bcast(np.zeros(1), root=1, group=[1, 2])
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 3, prog)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 7, 8])
+def test_barrier_synchronises(nranks):
+    arrivals = {}
+    departures = {}
+
+    def prog(ctx):
+        # Stagger arrivals.
+        yield ctx.engine.timeout(0.001 * ctx.rank)
+        arrivals[ctx.rank] = ctx.now
+        yield from ctx.mpi.barrier()
+        departures[ctx.rank] = ctx.now
+
+    run_parallel(LINUX_MYRINET, nranks, prog)
+    # Nobody leaves the barrier before the last arrival.
+    assert min(departures.values()) >= max(arrivals.values())
+
+
+def test_eager_nonblocking_send_overlaps():
+    """Eager isend completes locally; sender is free during the wire time."""
+    n = EAGER // 8  # exactly at the threshold -> eager
+    spec = LINUX_MYRINET
+    times = {}
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            data = np.ones(n)
+            t0 = ctx.now
+            req = ctx.mpi.isend(2, data)
+            yield from ctx.mpi.wait(req)
+            times["send_complete"] = ctx.now - t0
+        elif ctx.rank == 2:
+            out = np.zeros(n)
+            yield from ctx.mpi.recv(out, src=0)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(spec, 4, prog)
+    wire = (n * 8) / spec.network.bandwidth
+    # The send completed after the local copy, well before the wire time.
+    assert times["send_complete"] < wire
+
+
+def test_rendezvous_requires_sender_in_library():
+    """An isend above the threshold makes no progress while the sender
+    computes; the transfer happens inside wait() (the Fig. 7 cliff)."""
+    n = (EAGER // 8) * 64
+    spec = LINUX_MYRINET
+    wire = (n * 8) / spec.network.bandwidth
+    times = {}
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            data = np.ones(n)
+            req = ctx.mpi.isend(2, data)
+            yield from ctx.compute(wire * 2)  # plenty of time to overlap...
+            t0 = ctx.now
+            yield from ctx.mpi.wait(req)
+            times["wait"] = ctx.now - t0  # ...but none happened
+        elif ctx.rank == 2:
+            out = np.zeros(n)
+            req = ctx.mpi.irecv(out, src=0)
+            yield from ctx.mpi.wait(req)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run_parallel(spec, 4, prog)
+    # The full wire time is paid inside wait: overlap ~ 0.
+    assert times["wait"] >= wire * 0.9
+
+
+def test_intra_node_mpi_does_not_use_nic():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, np.ones(256))  # same node on 2-way nodes
+        elif ctx.rank == 1:
+            out = np.zeros(256)
+            yield from ctx.mpi.recv(out, src=0)
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    assert run.machine.nodes[0].nic_out.bytes_carried == 0
+
+
+def test_unmatched_recv_is_reported_as_deadlock():
+    def prog(ctx):
+        if ctx.rank == 0:
+            out = np.zeros(1)
+            yield from ctx.mpi.recv(out, src=1, tag=99)  # never sent
+        else:
+            yield ctx.engine.timeout(0.0)
+
+    with pytest.raises(CommError, match="deadlock"):
+        run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_send_to_invalid_rank_raises():
+    def prog(ctx):
+        yield ctx.engine.timeout(0.0)
+        with pytest.raises(IndexError):
+            ctx.mpi.isend(99, np.zeros(1))
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_self_send_recv():
+    def prog(ctx):
+        req = ctx.mpi.isend(ctx.rank, np.full(4, 1.25), tag=1)
+        out = np.zeros(4)
+        rreq = ctx.mpi.irecv(out, src=ctx.rank, tag=1)
+        yield from ctx.mpi.wait_all([req, rreq])
+        assert np.all(out == 1.25)
+
+    run_parallel(LINUX_MYRINET, 1, prog)
+
+
+def test_mpi_message_counters():
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, np.zeros(4))
+        else:
+            out = np.zeros(4)
+            yield from ctx.mpi.recv(out, src=0)
+
+    run = run_parallel(IDEAL, 2, prog)
+    assert run.tracer.counters["mpi_send"] == 1
+    assert run.tracer.counters["mpi_recv"] == 1

@@ -1,0 +1,175 @@
+"""Tests for the MPI-2 one-sided (window) model."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, MpiWindow, run_parallel
+from repro.machines import IBM_SP, LINUX_MYRINET
+
+
+def test_lock_get_unlock_moves_data():
+    def prog(ctx):
+        local = np.full(16, float(ctx.rank))
+        win = MpiWindow.create(ctx, "w", local=local)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(16)
+            yield from win.lock(2)
+            win.get(2, out)
+            yield from win.unlock(2)
+            assert np.all(out == 2.0)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_put_updates_target():
+    exposures = {}
+
+    def prog(ctx):
+        local = np.zeros(8)
+        exposures[ctx.rank] = local
+        win = MpiWindow.create(ctx, "w", local=local)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from win.lock(1)
+            win.put(1, np.full(8, 9.0))
+            yield from win.unlock(1)
+        yield from ctx.mpi.barrier()
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+    assert np.all(exposures[1] == 9.0)
+
+
+def test_get_with_section_index():
+    def prog(ctx):
+        local = np.arange(16.0).reshape(4, 4) * (ctx.rank + 1)
+        win = MpiWindow.create(ctx, "w", local=local)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((2, 2))
+            yield from win.lock(1)
+            win.get(1, out, index=(slice(1, 3), slice(2, 4)))
+            yield from win.unlock(1)
+            assert np.array_equal(out, (np.arange(16.0).reshape(4, 4) * 2)[1:3, 2:4])
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_data_not_valid_before_unlock():
+    """MPI-2 deferred semantics: the get queues; the buffer fills at unlock."""
+    def prog(ctx):
+        local = np.full(4, float(ctx.rank + 10))
+        win = MpiWindow.create(ctx, "w", local=local)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros(4)
+            yield from win.lock(1)
+            win.get(1, out)
+            assert np.all(out == 0.0)  # nothing moved yet
+            yield from win.unlock(1)
+            assert np.all(out == 11.0)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_op_without_lock_raises():
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(CommError, match="without holding the lock"):
+                win.get(1, np.zeros(4))
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_double_lock_raises():
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from win.lock(1)
+            with pytest.raises(CommError, match="already held"):
+                yield from win.lock(1)
+            yield from win.unlock(1)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_unlock_without_lock_raises():
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(CommError, match="unlock without lock"):
+                yield from win.unlock(1)
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_exclusive_lock_serialises_origins():
+    """Two origins locking the same target take turns."""
+    order = []
+
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(1024))
+        yield from ctx.mpi.barrier()
+        if ctx.rank in (0, 1):
+            out = np.zeros(1024)
+            yield from win.lock(2)
+            order.append(("locked", ctx.rank, ctx.now))
+            win.get(2, out)
+            yield from win.unlock(2)
+            order.append(("unlocked", ctx.rank, ctx.now))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    locks = [e for e in order if e[0] == "locked"]
+    unlocks = [e for e in order if e[0] == "unlocked"]
+    # The second lock grant happens only after the first unlock.
+    assert locks[1][2] >= unlocks[0][2]
+
+
+def test_fence_synchronises():
+    departures = {}
+
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield ctx.engine.timeout(0.001 * ctx.rank)
+        yield from win.fence()
+        departures[ctx.rank] = ctx.now
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    assert min(departures.values()) >= 0.003
+
+
+def test_fence_with_held_lock_raises():
+    def prog(ctx):
+        win = MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from win.lock(1)
+            with pytest.raises(CommError, match="locks still held"):
+                yield from win.fence()
+            yield from win.unlock(1)
+        yield from ctx.mpi.barrier()
+
+    run_parallel(LINUX_MYRINET, 2, prog)
+
+
+def test_mpi2_get_slower_than_armci_get():
+    """The Fig. 8 finding, via the real window implementation."""
+    from repro.bench import measure_bandwidth
+
+    mpi2 = measure_bandwidth(IBM_SP, "mpi2_get", 1 << 20)
+    armci = measure_bandwidth(IBM_SP, "armci_get", 1 << 20)
+    assert mpi2 < 0.75 * armci
+
+
+def test_duplicate_exposure_raises():
+    def prog(ctx):
+        MpiWindow.create(ctx, "w", local=np.zeros(4))
+        with pytest.raises(CommError, match="already exposed"):
+            MpiWindow.create(ctx, "w", local=np.zeros(4))
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 1, prog)

@@ -1,0 +1,106 @@
+"""Tests for strided (non-contiguous) transfer costs."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.comm.armci import _section_segments
+from repro.machines import LINUX_MYRINET
+
+
+class TestSectionSegments:
+    def test_full_array_is_one_segment(self):
+        assert _section_segments((10, 10), (slice(0, 10), slice(0, 10))) == 1
+
+    def test_full_width_rows_are_one_segment(self):
+        assert _section_segments((10, 10), (slice(2, 7), slice(0, 10))) == 1
+
+    def test_sub_width_section_one_segment_per_row(self):
+        assert _section_segments((10, 10), (slice(2, 7), slice(0, 5))) == 5
+
+    def test_single_row_subsection(self):
+        assert _section_segments((10, 10), (slice(3, 4), slice(1, 4))) == 1
+
+    def test_1d_always_contiguous(self):
+        assert _section_segments((100,), (slice(10, 50),)) == 1
+
+    def test_column_slice(self):
+        assert _section_segments((8, 8), (slice(0, 8), slice(3, 4))) == 8
+
+
+def test_strided_get_costs_more_than_contiguous():
+    """Same byte count, different shapes: a column strip pays per-row
+    descriptor overhead on Myrinet, a row strip does not."""
+    spec = LINUX_MYRINET
+    times = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("m", (256, 256))
+        local[...] = ctx.rank
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out_rows = np.zeros((4, 256))   # full-width: contiguous
+            out_cols = np.zeros((256, 4))   # column strip: 256 segments
+            t0 = ctx.now
+            yield from ctx.armci.get(2, "m", out_rows,
+                                     src_index=(slice(0, 4), slice(None)))
+            times["rows"] = ctx.now - t0
+            t0 = ctx.now
+            yield from ctx.armci.get(2, "m", out_cols,
+                                     src_index=(slice(None), slice(0, 4)))
+            times["cols"] = ctx.now - t0
+            assert np.all(out_rows == 2)
+            assert np.all(out_cols == 2)
+
+    run_parallel(spec, 4, prog)
+    expected_extra = 255 * spec.network.sg_overhead
+    assert times["cols"] - times["rows"] == pytest.approx(expected_extra, rel=0.05)
+
+
+def test_byte_level_segments_match_real_timing():
+    spec = LINUX_MYRINET
+    times = {}
+
+    def prog(ctx):
+        local = ctx.armci.malloc("m", (64, 64))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((64, 8))
+            t0 = ctx.now
+            yield from ctx.armci.get(2, "m", out,
+                                     src_index=(slice(None), slice(0, 8)))
+            times["real"] = ctx.now - t0
+            t0 = ctx.now
+            yield from ctx.armci.get_bytes(2, out.nbytes, segments=64)
+            times["bytes"] = ctx.now - t0
+
+    run_parallel(spec, 4, prog)
+    assert times["bytes"] == pytest.approx(times["real"], rel=1e-9)
+
+
+def test_zero_sg_overhead_means_no_penalty():
+    spec = LINUX_MYRINET.with_network(sg_overhead=0.0)
+    times = {}
+
+    def prog(ctx):
+        ctx.armci.malloc("m", (128, 128))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            t0 = ctx.now
+            yield from ctx.armci.get_bytes(2, 8192.0, segments=1)
+            times["contig"] = ctx.now - t0
+            t0 = ctx.now
+            yield from ctx.armci.get_bytes(2, 8192.0, segments=128)
+            times["strided"] = ctx.now - t0
+
+    run_parallel(spec, 4, prog)
+    assert times["strided"] == pytest.approx(times["contig"], rel=1e-9)
+
+
+def test_srumma_synthetic_still_matches_real_with_strided_costs():
+    """The end-to-end guarantee after adding segment costs."""
+    from repro.core import srumma_multiply
+
+    real = srumma_multiply(LINUX_MYRINET, 8, 48, 48, 48)
+    synth = srumma_multiply(LINUX_MYRINET, 8, 48, 48, 48, payload="synthetic")
+    assert synth.elapsed == pytest.approx(real.elapsed, rel=1e-9)

@@ -1,0 +1,48 @@
+"""Tests for flavour resolution and option validation."""
+
+import pytest
+
+from repro.core import ScheduleOptions, SrummaOptions, resolve_flavor
+from repro.machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
+
+
+def test_auto_resolves_by_machine():
+    """The §3.2 decision table: clusters -> cluster; shared-memory machines
+    by cacheability."""
+    assert resolve_flavor(LINUX_MYRINET) == "cluster"
+    assert resolve_flavor(IBM_SP) == "cluster"
+    assert resolve_flavor(SGI_ALTIX) == "direct"   # cacheable remote memory
+    assert resolve_flavor(CRAY_X1) == "copy"       # non-cacheable
+
+
+def test_explicit_flavor_passes_through():
+    for flavor in ("cluster", "direct", "copy"):
+        assert resolve_flavor(SGI_ALTIX, flavor) == flavor
+
+
+def test_unknown_flavor_rejected():
+    with pytest.raises(ValueError, match="unknown SRUMMA flavor"):
+        resolve_flavor(LINUX_MYRINET, "teleport")
+
+
+def test_auto_flips_with_cacheability():
+    x1_cacheable = CRAY_X1.with_memory(remote_cacheable=True)
+    assert resolve_flavor(x1_cacheable) == "direct"
+    altix_uncached = SGI_ALTIX.with_memory(remote_cacheable=False)
+    assert resolve_flavor(altix_uncached) == "copy"
+
+
+def test_options_describe_strings():
+    assert SrummaOptions().describe() == "auto/nb/diag+localfirst"
+    assert SrummaOptions(flavor="cluster", nonblocking=False).describe() \
+        == "cluster/blk/diag+localfirst"
+    assert SrummaOptions(dynamic=True).describe() == "auto/dyn/diag+localfirst"
+    assert SrummaOptions(
+        schedule=ScheduleOptions(diagonal_shift=False)).describe() \
+        == "auto/nb/nodiag+localfirst"
+
+
+def test_options_are_frozen():
+    opts = SrummaOptions()
+    with pytest.raises(Exception):
+        opts.flavor = "copy"  # type: ignore[misc]

@@ -1,0 +1,56 @@
+"""Full GEMM semantics: C = alpha * op(A) op(B) + beta * C."""
+
+import numpy as np
+import pytest
+
+from repro.core import srumma_multiply
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+def test_default_is_plain_product():
+    res = srumma_multiply(LINUX_MYRINET, 4, 16, 16, 16)
+    assert res.max_error < 1e-10 * 16
+
+
+@pytest.mark.parametrize("alpha", [2.0, -1.0, 0.5])
+def test_alpha_scaling(alpha):
+    res = srumma_multiply(LINUX_MYRINET, 4, 16, 16, 16, alpha=alpha)
+    assert res.max_error < 1e-9
+
+
+@pytest.mark.parametrize("beta", [1.0, 2.0, -0.5])
+def test_beta_accumulation(beta):
+    res = srumma_multiply(LINUX_MYRINET, 4, 16, 16, 16, beta=beta)
+    assert res.max_error < 1e-9
+
+
+def test_alpha_and_beta_together():
+    res = srumma_multiply(LINUX_MYRINET, 6, 18, 14, 22, alpha=-2.5, beta=3.0)
+    assert res.max_error < 1e-9
+
+
+def test_gemm_with_transposes():
+    res = srumma_multiply(LINUX_MYRINET, 4, 20, 20, 20,
+                          transa=True, transb=True, alpha=1.5, beta=0.5)
+    assert res.max_error < 1e-9
+
+
+def test_alpha_zero_beta_keeps_c():
+    """alpha=0, beta=1: C is unchanged (the degenerate GEMM identity)."""
+    res = srumma_multiply(LINUX_MYRINET, 4, 16, 16, 16, alpha=0.0, beta=1.0)
+    rng = np.random.default_rng(1)  # seed + 1 is the c0 seed
+    c0 = rng.standard_normal((16, 16))
+    assert np.allclose(res.c, c0)
+
+
+def test_gemm_on_shared_memory_flavor():
+    res = srumma_multiply(SGI_ALTIX, 4, 16, 16, 16, alpha=2.0, beta=1.0)
+    assert res.max_error < 1e-9
+
+
+def test_nontrivial_beta_costs_scale_time():
+    fast = srumma_multiply(LINUX_MYRINET, 4, 64, 64, 64, beta=0.0,
+                           payload="synthetic")
+    slow = srumma_multiply(LINUX_MYRINET, 4, 64, 64, 64, beta=2.0,
+                           payload="synthetic")
+    assert slow.elapsed > fast.elapsed

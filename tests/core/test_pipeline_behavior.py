@@ -1,0 +1,123 @@
+"""White-box tests of SRUMMA's pipelining and flavour behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleOptions, SrummaOptions, srumma_multiply
+from repro.machines import CRAY_X1, LINUX_MYRINET, SGI_ALTIX
+
+
+def _wait_fraction(res):
+    tr = res.run.tracer
+    compute = tr.total("compute")
+    return tr.total("comm_wait") / compute if compute else 0.0
+
+
+def test_pipeline_hides_most_waiting():
+    """Nonblocking run: comm_wait is a small fraction of compute."""
+    nb = srumma_multiply(LINUX_MYRINET, 16, 1024, 1024, 1024,
+                         payload="synthetic",
+                         options=SrummaOptions(flavor="cluster"))
+    blk = srumma_multiply(LINUX_MYRINET, 16, 1024, 1024, 1024,
+                          payload="synthetic",
+                          options=SrummaOptions(flavor="cluster",
+                                                nonblocking=False))
+    assert _wait_fraction(nb) < 0.5 * _wait_fraction(blk)
+
+
+def test_blocking_mode_waits_for_every_get():
+    res = srumma_multiply(LINUX_MYRINET, 8, 256, 256, 256,
+                          payload="synthetic",
+                          options=SrummaOptions(flavor="cluster",
+                                                nonblocking=False))
+    # Every remote get is waited on from issue to completion.
+    assert res.run.tracer.total("comm_wait") > 0
+
+
+def test_direct_flavor_spends_nothing_on_comm():
+    res = srumma_multiply(SGI_ALTIX, 8, 256, 256, 256, payload="synthetic",
+                          options=SrummaOptions(flavor="direct"))
+    tr = res.run.tracer
+    # No gets, no copies; waiting only from the setup barrier.
+    assert tr.counters.get("armci_get", 0) == 0
+    assert tr.counters.get("shmem_copy", 0) == 0
+
+
+def test_copy_flavor_charges_copy_bucket():
+    res = srumma_multiply(CRAY_X1, 8, 256, 256, 256, payload="synthetic",
+                          options=SrummaOptions(flavor="copy"))
+    tr = res.run.tracer
+    assert tr.counters["shmem_copy"] > 0
+    assert tr.total("copy") > 0
+
+
+def test_get_count_matches_the_model():
+    """§2.1: on a square p x p grid each process gets q A-blocks and p
+    B-blocks, minus the domain-local ones; with the reuse cache each
+    distinct remote patch is fetched exactly once."""
+    res = srumma_multiply(LINUX_MYRINET, 16, 256, 256, 256,
+                          payload="synthetic",
+                          options=SrummaOptions(flavor="cluster"))
+    # 4x4 grid on 2-way nodes: each rank needs 4 A-patches (2 on-node) and
+    # 4 B-patches (1 on-node) -> 5 remote gets.  A task is *domain-local*
+    # only when both operands are on-node, which happens for the diagonal
+    # pairing on some ranks only.
+    for s in res.stats:
+        assert s.remote_gets == 5
+        assert s.tasks == 4
+    assert sum(s.local_tasks for s in res.stats) > 0
+
+
+def test_bytes_fetched_match_patch_sizes():
+    res = srumma_multiply(LINUX_MYRINET, 16, 256, 256, 256,
+                          payload="synthetic")
+    per_patch = 64 * 64 * 8
+    for s in res.stats:
+        assert s.bytes_fetched == s.remote_gets * per_patch
+
+
+def test_peak_buffers_bounded():
+    res = srumma_multiply(LINUX_MYRINET, 16, 512, 512, 512,
+                          payload="synthetic")
+    per_patch = 128 * 128 * 8
+    for s in res.stats:
+        assert s.peak_buffer_bytes <= 4 * per_patch
+
+
+def test_first_remote_get_overlaps_local_work():
+    """Local-first + prefetch-at-start: by the time the first remote task
+    runs, its get has been in flight for the whole local phase."""
+    res = srumma_multiply(LINUX_MYRINET, 16, 2048, 2048, 2048,
+                          payload="synthetic",
+                          options=SrummaOptions(flavor="cluster"))
+    # With big blocks, local dgemms take far longer than the transfers, so
+    # waits collapse to a small residue (NIC contention at the tail).
+    assert _wait_fraction(res) < 0.10
+
+
+def test_dynamic_filler_reduces_wait_under_skew():
+    """On fat nodes (many local fillers) the dynamic executor absorbs the
+    contention skew a missing diagonal shift causes."""
+    from repro.machines import IBM_SP
+
+    nodiag = ScheduleOptions(diagonal_shift=False)
+    static = srumma_multiply(IBM_SP, 64, 1024, 1024, 1024,
+                             payload="synthetic",
+                             options=SrummaOptions(flavor="cluster",
+                                                   schedule=nodiag))
+    dynamic = srumma_multiply(IBM_SP, 64, 1024, 1024, 1024,
+                              payload="synthetic",
+                              options=SrummaOptions(flavor="cluster",
+                                                    dynamic=True,
+                                                    schedule=nodiag))
+    assert dynamic.elapsed < static.elapsed
+
+
+def test_all_flavors_identical_numerics():
+    results = []
+    for flavor in ("cluster", "direct", "copy"):
+        res = srumma_multiply(SGI_ALTIX, 8, 96, 80, 64, seed=5,
+                              options=SrummaOptions(flavor=flavor))
+        results.append(res.c)
+    assert np.array_equal(results[0], results[1])
+    assert np.array_equal(results[0], results[2])

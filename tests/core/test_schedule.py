@@ -1,0 +1,94 @@
+"""Tests for the §3.1 step-2 task orderings."""
+
+import pytest
+
+from repro.core.schedule import ScheduleOptions, order_tasks, task_is_domain_local
+from repro.core.tasks import build_tasks
+from repro.distarray import Block2D
+from repro.machines import IBM_SP, LINUX_MYRINET, SGI_ALTIX
+from repro.sim import Machine
+
+
+def make_tasks(machine, m=16, p=4, q=4, coords=(0, 0)):
+    da = Block2D(m, m, p, q)
+    return build_tasks(da, da, da, coords=coords), da
+
+
+def test_order_preserves_multiset():
+    machine = Machine(LINUX_MYRINET, 16)
+    tasks, _ = make_tasks(machine)
+    ordered = order_tasks(tasks, machine, 0, (0, 0), ScheduleOptions())
+    assert sorted(t.k_range for t in ordered) == sorted(t.k_range for t in tasks)
+    assert len(ordered) == len(tasks)
+
+
+def test_empty_task_list():
+    machine = Machine(LINUX_MYRINET, 16)
+    assert order_tasks([], machine, 0, (0, 0)) == []
+
+
+def test_local_first_puts_domain_local_tasks_first():
+    machine = Machine(LINUX_MYRINET, 16)  # 2-way nodes
+    tasks, _ = make_tasks(machine, coords=(0, 0))
+    ordered = order_tasks(tasks, machine, 0, (0, 0),
+                          ScheduleOptions(local_first=True))
+    locality = [task_is_domain_local(machine, 0, t) for t in ordered]
+    # Once we hit the first remote task, no local task follows.
+    if any(locality):
+        first_remote = locality.index(False) if False in locality else len(locality)
+        assert all(not loc for loc in locality[first_remote:])
+
+
+def test_no_local_first_keeps_k_order_rotated():
+    machine = Machine(LINUX_MYRINET, 16)
+    tasks, _ = make_tasks(machine, coords=(0, 0))
+    ordered = order_tasks(tasks, machine, 0, (0, 0),
+                          ScheduleOptions(diagonal_shift=False,
+                                          local_first=False))
+    assert ordered == list(tasks)
+
+
+def test_diagonal_shift_rotates_by_coords():
+    machine = Machine(LINUX_MYRINET, 16)
+    tasks, _ = make_tasks(machine, coords=(1, 2))
+    ordered = order_tasks(tasks, machine, 6, (1, 2),
+                          ScheduleOptions(diagonal_shift=True,
+                                          local_first=False))
+    start = (1 + 2) % len(tasks)
+    assert ordered == list(tasks[start:]) + list(tasks[:start])
+
+
+def test_diagonal_shift_spreads_first_targets():
+    """The point of the shift (paper Fig. 4): ranks in one node start
+    their remote fetches at different owner nodes."""
+    machine = Machine(IBM_SP, 64)  # 16-way nodes, grid 8x8
+    da = Block2D(64, 64, 8, 8)
+    first_owner_nodes = set()
+    for rank in range(16):  # all ranks of node 0
+        coords = da.coords_of(rank)
+        tasks = build_tasks(da, da, da, coords=coords)
+        ordered = order_tasks(tasks, machine, rank, coords,
+                              ScheduleOptions(local_first=False))
+        remote = [t for t in ordered
+                  if not task_is_domain_local(machine, rank, t)]
+        if remote:
+            t = remote[0]
+            owner = (t.b_owner
+                     if not machine.same_domain(rank, t.b_owner)
+                     else t.a_owner)
+            first_owner_nodes.add(machine.node_of(owner))
+    # Without the shift every rank in the node would hit the same first
+    # remote owner node; with it the first targets are spread.
+    assert len(first_owner_nodes) >= 3
+
+
+def test_everything_is_local_on_machine_scope():
+    machine = Machine(SGI_ALTIX, 16)
+    tasks, _ = make_tasks(machine)
+    assert all(task_is_domain_local(machine, 0, t) for t in tasks)
+
+
+def test_describe_strings():
+    assert ScheduleOptions().describe() == "diag+localfirst"
+    assert ScheduleOptions(diagonal_shift=False,
+                           local_first=False).describe() == "nodiag+listorder"

@@ -1,0 +1,168 @@
+"""Unit and property tests for SRUMMA task-list construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tasks import build_tasks, k_dimension
+from repro.distarray import Block2D
+
+
+def dists(m, n, k, p, q, transa=False, transb=False):
+    da = Block2D(k if transa else m, m if transa else k, p, q)
+    db = Block2D(n if transb else k, k if transb else n, p, q)
+    dc = Block2D(m, n, p, q)
+    return da, db, dc
+
+
+class TestBasicConstruction:
+    def test_square_grid_nn_task_count(self):
+        """On a p x p grid with aligned sizes, each C block needs exactly
+        p tasks (paper: q gets of A + p gets of B, one pair per k-block)."""
+        da, db, dc = dists(8, 8, 8, 2, 2)
+        tasks = build_tasks(da, db, dc, coords=(0, 0))
+        assert len(tasks) == 2
+
+    def test_nonsquare_grid_nn_task_count(self):
+        """p != q: the k refinement is the union of both partitions."""
+        da, db, dc = dists(12, 12, 12, 3, 2)
+        # A k-partition (cols over q=2): 0,6,12; B k-partition (rows over
+        # p=3): 0,4,8,12 -> union 0,4,6,8,12 -> 4 intervals.
+        tasks = build_tasks(da, db, dc, coords=(0, 0))
+        assert len(tasks) == 4
+
+    def test_tasks_cover_k_exactly(self):
+        da, db, dc = dists(10, 10, 10, 3, 2)
+        tasks = build_tasks(da, db, dc, coords=(1, 1))
+        ivs = sorted(t.k_range for t in tasks)
+        assert ivs[0][0] == 0
+        assert ivs[-1][1] == 10
+        for (a, b), (c, d) in zip(ivs[:-1], ivs[1:]):
+            assert b == c  # contiguous, no overlap
+
+    def test_empty_for_rank_outside_grid(self):
+        da, db, dc = dists(8, 8, 8, 2, 2)
+        assert build_tasks(da, db, dc, coords=None) == []
+
+    def test_empty_for_empty_block(self):
+        # m=4, p=3: grid row 2 owns an empty row range.
+        da, db, dc = dists(4, 4, 4, 3, 1)
+        assert build_tasks(da, db, dc, coords=(2, 0)) == []
+
+    def test_shape_mismatch_raises(self):
+        da = Block2D(8, 6, 2, 2)
+        db = Block2D(7, 8, 2, 2)  # inner dims 6 vs 7
+        dc = Block2D(8, 8, 2, 2)
+        with pytest.raises(ValueError, match="inner dims"):
+            build_tasks(da, db, dc, coords=(0, 0))
+
+    def test_outer_mismatch_raises(self):
+        da = Block2D(8, 6, 2, 2)
+        db = Block2D(6, 8, 2, 2)
+        dc = Block2D(9, 8, 2, 2)
+        with pytest.raises(ValueError, match="outer dims"):
+            build_tasks(da, db, dc, coords=(0, 0))
+
+    def test_k_dimension_helper(self):
+        d = Block2D(8, 6, 2, 2)
+        assert k_dimension(d, transa=False) == 6
+        assert k_dimension(d, transa=True) == 8
+
+    def test_flops_property(self):
+        da, db, dc = dists(8, 8, 8, 2, 2)
+        tasks = build_tasks(da, db, dc, coords=(0, 0))
+        # Each rank's tasks compute its 4x4 C block over the full k=8.
+        assert sum(t.flops for t in tasks) == 2 * 4 * 4 * 8
+
+
+class TestTransposeGeometry:
+    def test_transa_patches_are_in_stored_orientation(self):
+        da, db, dc = dists(8, 8, 8, 2, 2, transa=True)
+        tasks = build_tasks(da, db, dc, transa=True, coords=(0, 0))
+        for t in tasks:
+            # stored A is k x m: patch rows span k-interval, cols span C rows
+            assert t.a_shape == (t.k_range[1] - t.k_range[0],
+                                 t.m_range[1] - t.m_range[0])
+
+    def test_transb_patches_are_in_stored_orientation(self):
+        da, db, dc = dists(8, 8, 8, 2, 2, transb=True)
+        tasks = build_tasks(da, db, dc, transb=True, coords=(1, 0))
+        for t in tasks:
+            assert t.b_shape == (t.n_range[1] - t.n_range[0],
+                                 t.k_range[1] - t.k_range[0])
+
+    def test_transa_nonsquare_grid_segments_m(self):
+        """Stored-A columns (the C row dim) are partitioned over q != p, so
+        the C row range must be segmented."""
+        da, db, dc = dists(12, 12, 12, 3, 2, transa=True)
+        tasks = build_tasks(da, db, dc, transa=True, coords=(0, 0))
+        m_segs = sorted({t.m_range for t in tasks})
+        # C row range of grid row 0 is [0,4); stored A col partition has a
+        # breakpoint at 6 -> no split here; but grid row 1 owns [4,8) which
+        # straddles 6 -> split.
+        tasks_r1 = build_tasks(da, db, dc, transa=True, coords=(1, 0))
+        m_segs_r1 = sorted({t.m_range for t in tasks_r1})
+        assert m_segs == [(0, 4)]
+        assert m_segs_r1 == [(4, 6), (6, 8)]
+
+
+@st.composite
+def _task_configs(draw):
+    m = draw(st.integers(min_value=1, max_value=40))
+    n = draw(st.integers(min_value=1, max_value=40))
+    k = draw(st.integers(min_value=1, max_value=40))
+    p = draw(st.integers(min_value=1, max_value=4))
+    q = draw(st.integers(min_value=1, max_value=4))
+    transa = draw(st.booleans())
+    transb = draw(st.booleans())
+    return m, n, k, p, q, transa, transb
+
+
+class TestTaskProperties:
+    @given(_task_configs())
+    @settings(max_examples=200, deadline=None)
+    def test_tasks_tile_the_c_block_times_k(self, cfg):
+        """Across all tasks of one rank, (m_range x n_range x k_range)
+        exactly tiles block(C) x [0, k)."""
+        m, n, k, p, q, transa, transb = cfg
+        da, db, dc = dists(m, n, k, p, q, transa, transb)
+        for pi in range(p):
+            for pj in range(q):
+                tasks = build_tasks(da, db, dc, transa, transb, coords=(pi, pj))
+                r0, r1 = dc.row_range(pi)
+                c0, c1 = dc.col_range(pj)
+                cover = np.zeros((r1 - r0, c1 - c0, k), dtype=int)
+                for t in tasks:
+                    cover[t.m_range[0] - r0:t.m_range[1] - r0,
+                          t.n_range[0] - c0:t.n_range[1] - c0,
+                          t.k_range[0]:t.k_range[1]] += 1
+                assert np.all(cover == 1)
+
+    @given(_task_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_patch_shapes_consistent_with_dgemm(self, cfg):
+        """op(A patch) is (m_seg x k_seg) and op(B patch) is (k_seg x n_seg)."""
+        m, n, k, p, q, transa, transb = cfg
+        da, db, dc = dists(m, n, k, p, q, transa, transb)
+        tasks = build_tasks(da, db, dc, transa, transb, coords=(0, 0))
+        for t in tasks:
+            ms = t.m_range[1] - t.m_range[0]
+            ns = t.n_range[1] - t.n_range[0]
+            ks = t.k_range[1] - t.k_range[0]
+            a_op = (t.a_shape[1], t.a_shape[0]) if transa else t.a_shape
+            b_op = (t.b_shape[1], t.b_shape[0]) if transb else t.b_shape
+            assert a_op == (ms, ks)
+            assert b_op == (ks, ns)
+
+    @given(_task_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_total_flops_equals_2mnk(self, cfg):
+        m, n, k, p, q, transa, transb = cfg
+        da, db, dc = dists(m, n, k, p, q, transa, transb)
+        total = 0
+        for pi in range(p):
+            for pj in range(q):
+                total += sum(t.flops for t in build_tasks(
+                    da, db, dc, transa, transb, coords=(pi, pj)))
+        assert total == 2 * m * n * k

@@ -1,0 +1,173 @@
+"""Tests for 2D block and block-cyclic distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distarray import Block2D, BlockCyclic2D, choose_grid
+
+
+class TestChooseGrid:
+    @pytest.mark.parametrize("nranks,expected", [
+        (1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (8, (4, 2)),
+        (16, (4, 4)), (64, (8, 8)), (128, (16, 8)), (7, (7, 1)), (12, (4, 3)),
+    ])
+    def test_known_factorisations(self, nranks, expected):
+        assert choose_grid(nranks) == expected
+
+    @given(st.integers(min_value=1, max_value=2048))
+    def test_grid_always_factors(self, nranks):
+        p, q = choose_grid(nranks)
+        assert p * q == nranks
+        assert p >= q >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            choose_grid(0)
+
+
+class TestBlock2D:
+    def test_even_split(self):
+        d = Block2D(8, 8, 2, 2)
+        assert d.block_shape(0, 0) == (4, 4)
+        assert d.block_slices(1, 1) == (slice(4, 8), slice(4, 8))
+
+    def test_uneven_split_last_block_smaller(self):
+        d = Block2D(10, 10, 3, 3)
+        # ceil(10/3) = 4: blocks of 4, 4, 2.
+        assert d.block_shape(0, 0) == (4, 4)
+        assert d.block_shape(2, 2) == (2, 2)
+
+    def test_degenerate_empty_blocks(self):
+        # ceil(4/3)=2: rows 0-2, 2-4, empty.
+        d = Block2D(4, 4, 3, 1)
+        assert d.block_shape(0, 0) == (2, 4)
+        assert d.block_shape(1, 0) == (2, 4)
+        assert d.block_shape(2, 0) == (0, 4)
+
+    def test_rank_coord_roundtrip(self):
+        d = Block2D(8, 8, 3, 4)
+        for pi in range(3):
+            for pj in range(4):
+                r = d.rank_of(pi, pj)
+                assert d.coords_of(r) == (pi, pj)
+
+    def test_rank_numbering_row_major(self):
+        d = Block2D(8, 8, 2, 3)
+        assert d.rank_of(0, 0) == 0
+        assert d.rank_of(0, 2) == 2
+        assert d.rank_of(1, 0) == 3
+
+    def test_owner_of_element(self):
+        d = Block2D(10, 10, 3, 3)
+        assert d.owner_of(0, 0) == d.rank_of(0, 0)
+        assert d.owner_of(9, 9) == d.rank_of(2, 2)
+        assert d.owner_of(4, 3) == d.rank_of(1, 0)
+
+    def test_out_of_range_raises(self):
+        d = Block2D(4, 4, 2, 2)
+        with pytest.raises(IndexError):
+            d.owner_of(4, 0)
+        with pytest.raises(IndexError):
+            d.rank_of(2, 0)
+        with pytest.raises(IndexError):
+            d.coords_of(4)
+
+    def test_breakpoints_cover_matrix(self):
+        d = Block2D(10, 7, 3, 2)
+        rb = d.row_breakpoints()
+        cb = d.col_breakpoints()
+        assert rb[0] == 0 and rb[-1] == 10
+        assert cb[0] == 0 and cb[-1] == 7
+        assert rb == sorted(set(rb))
+
+    @given(
+        m=st.integers(min_value=0, max_value=200),
+        n=st.integers(min_value=0, max_value=200),
+        p=st.integers(min_value=1, max_value=8),
+        q=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200)
+    def test_blocks_partition_matrix_exactly(self, m, n, p, q):
+        """Every element belongs to exactly one block."""
+        d = Block2D(m, n, p, q)
+        cover = np.zeros((m, n), dtype=int)
+        for pi, pj in d.iter_blocks():
+            rs, cs = d.block_slices(pi, pj)
+            cover[rs, cs] += 1
+        assert np.all(cover == 1)
+
+    @given(
+        m=st.integers(min_value=1, max_value=200),
+        p=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_row_owner_consistent_with_ranges(self, m, p):
+        d = Block2D(m, m, p, 1)
+        for i in range(m):
+            pi = d.owner_of_row(i)
+            lo, hi = d.row_range(pi)
+            assert lo <= i < hi
+
+
+class TestBlockCyclic2D:
+    def test_tile_owner_cycles(self):
+        d = BlockCyclic2D(8, 8, 2, 2, 2, 2)
+        assert d.tile_owner(0, 0) == (0, 0)
+        assert d.tile_owner(1, 0) == (1, 0)
+        assert d.tile_owner(2, 0) == (0, 0)
+        assert d.tile_owner(3, 3) == (1, 1)
+
+    def test_edge_tiles_are_smaller(self):
+        d = BlockCyclic2D(7, 5, 3, 2, 2, 2)
+        assert d.tile_shape(0, 0) == (3, 2)
+        assert d.tile_shape(2, 2) == (1, 1)
+
+    def test_local_shape_sums_tiles(self):
+        d = BlockCyclic2D(10, 10, 3, 3, 2, 2)
+        # tiles_m = 4 (3,3,3,1); grid row 0 gets tiles 0,2 -> 3+3=6 rows;
+        # grid row 1 gets tiles 1,3 -> 3+1=4 rows.
+        assert d.local_rows(0) == 6
+        assert d.local_rows(1) == 4
+        assert d.local_shape(0) == (6, 6)
+        assert d.local_shape(3) == (4, 4)
+
+    @given(
+        m=st.integers(min_value=0, max_value=120),
+        n=st.integers(min_value=0, max_value=120),
+        mb=st.integers(min_value=1, max_value=9),
+        nb=st.integers(min_value=1, max_value=9),
+        p=st.integers(min_value=1, max_value=4),
+        q=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=150)
+    def test_local_shapes_partition_total(self, m, n, mb, nb, p, q):
+        d = BlockCyclic2D(m, n, mb, nb, p, q)
+        total_rows = sum(d.local_rows(pi) for pi in range(p))
+        total_cols = sum(d.local_cols(pj) for pj in range(q))
+        assert total_rows == m
+        assert total_cols == n
+
+    @given(
+        m=st.integers(min_value=1, max_value=60),
+        mb=st.integers(min_value=1, max_value=7),
+        p=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100)
+    def test_global_rows_partition(self, m, mb, p):
+        d = BlockCyclic2D(m, m, mb, mb, p, 1)
+        seen = []
+        for pi in range(p):
+            seen.extend(d.global_rows_of(pi))
+        assert sorted(seen) == list(range(m))
+
+    def test_global_rows_in_packed_order(self):
+        d = BlockCyclic2D(10, 10, 3, 3, 2, 1)
+        # grid row 0 owns tiles 0 (rows 0-2) and 2 (rows 6-8).
+        assert d.global_rows_of(0) == [0, 1, 2, 6, 7, 8]
+        assert d.global_rows_of(1) == [3, 4, 5, 9]
+
+    def test_invalid_tile_dims(self):
+        with pytest.raises(ValueError):
+            BlockCyclic2D(4, 4, 0, 1, 1, 1)

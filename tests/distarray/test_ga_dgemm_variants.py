@@ -1,0 +1,81 @@
+"""ga_dgemm through the GA layer: transposes, rectangles, accumulate chains."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.distarray import GlobalArray, ga_dgemm, ga_fill
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+def _run_ga_dgemm(spec, nranks, m, n, k, transa, transb, alpha, beta, seed=0):
+    rng = np.random.default_rng(seed)
+    a_ref = rng.standard_normal((k, m) if transa else (m, k))
+    b_ref = rng.standard_normal((n, k) if transb else (k, n))
+    c0 = rng.standard_normal((m, n))
+    holder = {}
+
+    def prog(ctx):
+        ga_a = GlobalArray.create(ctx, "A", *a_ref.shape)
+        ga_b = GlobalArray.create(ctx, "B", *b_ref.shape)
+        ga_c = GlobalArray.create(ctx, "C", m, n)
+        ga_a.load(a_ref)
+        ga_b.load(b_ref)
+        ga_c.load(c0)
+        holder["dist"] = ga_c.dist
+        yield from ctx.mpi.barrier()
+        yield from ga_dgemm(ctx, transa, transb, alpha, ga_a, ga_b, beta, ga_c)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(spec, nranks, prog)
+    got = GlobalArray.assemble(run.armci, "C", holder["dist"])
+    opa = a_ref.T if transa else a_ref
+    opb = b_ref.T if transb else b_ref
+    expected = alpha * (opa @ opb) + beta * c0
+    assert np.allclose(got, expected), (m, n, k, transa, transb, alpha, beta)
+
+
+@pytest.mark.parametrize("transa,transb", [
+    (False, False), (True, False), (False, True), (True, True),
+])
+def test_ga_dgemm_transposes(transa, transb):
+    _run_ga_dgemm(LINUX_MYRINET, 4, 20, 20, 20, transa, transb, 1.0, 0.0)
+
+
+@pytest.mark.parametrize("alpha,beta", [(1.0, 1.0), (2.0, -0.5), (0.0, 2.0)])
+def test_ga_dgemm_alpha_beta(alpha, beta):
+    _run_ga_dgemm(SGI_ALTIX, 4, 16, 16, 16, False, False, alpha, beta)
+
+
+def test_ga_dgemm_rectangular_nonsquare_grid():
+    _run_ga_dgemm(LINUX_MYRINET, 6, 21, 13, 17, True, False, 1.5, 0.5)
+
+
+def test_ga_dgemm_chain():
+    """Two chained ga_dgemm calls: D = A@B then E = D@A + E."""
+    rng = np.random.default_rng(3)
+    n = 16
+    a_ref = rng.standard_normal((n, n))
+    b_ref = rng.standard_normal((n, n))
+    holder = {}
+
+    def prog(ctx):
+        ga_a = GlobalArray.create(ctx, "A", n, n)
+        ga_b = GlobalArray.create(ctx, "B", n, n)
+        ga_d = GlobalArray.create(ctx, "D", n, n)
+        ga_e = GlobalArray.create(ctx, "E", n, n)
+        ga_a.load(a_ref)
+        ga_b.load(b_ref)
+        holder["dist"] = ga_e.dist
+        yield from ctx.mpi.barrier()
+        yield from ga_fill(ctx, ga_e, 1.0)
+        yield from ctx.mpi.barrier()
+        yield from ga_dgemm(ctx, False, False, 1.0, ga_a, ga_b, 0.0, ga_d)
+        yield from ctx.mpi.barrier()
+        yield from ga_dgemm(ctx, False, False, 1.0, ga_d, ga_a, 1.0, ga_e)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    got = GlobalArray.assemble(run.armci, "E", holder["dist"])
+    expected = (a_ref @ b_ref) @ a_ref + 1.0
+    assert np.allclose(got, expected)

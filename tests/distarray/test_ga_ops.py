@@ -1,0 +1,185 @@
+"""Tests for Global Arrays-style collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.distarray import (
+    GlobalArray,
+    ga_add,
+    ga_copy,
+    ga_dgemm,
+    ga_dot,
+    ga_fill,
+    ga_norm_inf,
+    ga_scale,
+    ga_transpose,
+)
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+def _ref(m, n, seed):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def _assemble(run, name, dist):
+    return GlobalArray.assemble(run.armci, name, dist)
+
+
+def test_ga_fill():
+    holder = {}
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "X", 10, 10)
+        holder["dist"] = ga.dist
+        yield from ga_fill(ctx, ga, 3.5)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    assert np.all(_assemble(run, "X", holder["dist"]) == 3.5)
+
+
+def test_ga_scale():
+    ref = _ref(8, 8, 0)
+    holder = {}
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "X", 8, 8)
+        ga.load(ref)
+        holder["dist"] = ga.dist
+        yield from ga_scale(ctx, ga, -2.0)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    assert np.allclose(_assemble(run, "X", holder["dist"]), -2.0 * ref)
+
+
+def test_ga_copy():
+    ref = _ref(9, 7, 1)
+    holder = {}
+
+    def prog(ctx):
+        src = GlobalArray.create(ctx, "S", 9, 7)
+        dst = GlobalArray.create(ctx, "D", 9, 7)
+        src.load(ref)
+        holder["dist"] = dst.dist
+        yield from ga_copy(ctx, src, dst)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    assert np.array_equal(_assemble(run, "D", holder["dist"]), ref)
+
+
+def test_ga_copy_dist_mismatch_raises():
+    def prog(ctx):
+        src = GlobalArray.create(ctx, "S", 8, 8, p=2, q=2)
+        dst = GlobalArray.create(ctx, "D", 8, 8, p=4, q=1)
+        with pytest.raises(CommError, match="identically distributed"):
+            yield from ga_copy(ctx, src, dst)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_ga_add():
+    a_ref, b_ref = _ref(8, 8, 2), _ref(8, 8, 3)
+    holder = {}
+
+    def prog(ctx):
+        a = GlobalArray.create(ctx, "A", 8, 8)
+        b = GlobalArray.create(ctx, "B", 8, 8)
+        c = GlobalArray.create(ctx, "C", 8, 8)
+        a.load(a_ref)
+        b.load(b_ref)
+        holder["dist"] = c.dist
+        yield from ga_add(ctx, 2.0, a, -1.5, b, c)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    assert np.allclose(_assemble(run, "C", holder["dist"]),
+                       2.0 * a_ref - 1.5 * b_ref)
+
+
+def test_ga_dot_all_ranks_agree():
+    a_ref, b_ref = _ref(10, 10, 4), _ref(10, 10, 5)
+    values = {}
+
+    def prog(ctx):
+        a = GlobalArray.create(ctx, "A", 10, 10)
+        b = GlobalArray.create(ctx, "B", 10, 10)
+        a.load(a_ref)
+        b.load(b_ref)
+        yield from ctx.mpi.barrier()
+        values[ctx.rank] = (yield from ga_dot(ctx, a, b))
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+    expected = float(np.sum(a_ref * b_ref))
+    for v in values.values():
+        assert v == pytest.approx(expected)
+
+
+def test_ga_norm_inf():
+    ref = _ref(12, 5, 6)
+    values = {}
+
+    def prog(ctx):
+        a = GlobalArray.create(ctx, "A", 12, 5)
+        a.load(ref)
+        yield from ctx.mpi.barrier()
+        values[ctx.rank] = (yield from ga_norm_inf(ctx, a))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+    for v in values.values():
+        assert v == pytest.approx(np.max(np.abs(ref)))
+
+
+@pytest.mark.parametrize("m,n,p,q", [(8, 8, 2, 2), (10, 6, 3, 2), (7, 11, 2, 3)])
+def test_ga_transpose(m, n, p, q):
+    ref = _ref(m, n, 7)
+    holder = {}
+
+    def prog(ctx):
+        src = GlobalArray.create(ctx, "S", m, n, p=p, q=q)
+        dst = GlobalArray.create(ctx, "T", n, m, p=p, q=q)
+        src.load(ref)
+        holder["dist"] = dst.dist
+        yield from ctx.mpi.barrier()
+        yield from ga_transpose(ctx, src, dst)
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, p * q, prog)
+    assert np.allclose(_assemble(run, "T", holder["dist"]), ref.T)
+
+
+def test_ga_transpose_shape_mismatch_raises():
+    def prog(ctx):
+        src = GlobalArray.create(ctx, "S", 8, 6)
+        dst = GlobalArray.create(ctx, "T", 8, 6)  # should be 6x8
+        with pytest.raises(CommError, match="ga_transpose"):
+            yield from ga_transpose(ctx, src, dst)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_ga_dgemm_end_to_end():
+    """The GA front door: C = alpha*A@B + beta*C via SRUMMA."""
+    a_ref, b_ref = _ref(16, 12, 8), _ref(12, 14, 9)
+    holder = {}
+
+    def prog(ctx):
+        a = GlobalArray.create(ctx, "A", 16, 12)
+        b = GlobalArray.create(ctx, "B", 12, 14)
+        c = GlobalArray.create(ctx, "C", 16, 14)
+        a.load(a_ref)
+        b.load(b_ref)
+        holder["dist"] = c.dist
+        yield from ctx.mpi.barrier()
+        yield from ga_fill(ctx, c, 1.0)
+        yield from ctx.mpi.barrier()
+        stats = yield from ga_dgemm(ctx, False, False, 2.0, a, b, 0.5, c)
+        yield from ctx.mpi.barrier()
+        return stats
+
+    run = run_parallel(SGI_ALTIX, 4, prog)
+    expected = 2.0 * (a_ref @ b_ref) + 0.5
+    assert np.allclose(_assemble(run, "C", holder["dist"]), expected)
+    assert sum(s.flops for s in run.results) == 2 * 16 * 14 * 12

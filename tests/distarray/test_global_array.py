@@ -1,0 +1,213 @@
+"""Tests for the GlobalArray distributed matrix."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, run_parallel
+from repro.distarray import Block2D, GlobalArray
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+def _ref(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, n))
+
+
+def test_create_and_assemble_roundtrip():
+    ref = _ref(12, 12)
+    dist_holder = {}
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 12, 12, p=2, q=2)
+        ga.load(ref)
+        dist_holder["dist"] = ga.dist
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    out = GlobalArray.assemble(run.armci, "A", dist_holder["dist"])
+    assert np.array_equal(out, ref)
+
+
+def test_create_uses_most_square_default_grid():
+    grids = {}
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8)
+        grids[ctx.rank] = ga.grid
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+    assert all(g == (3, 2) for g in grids.values())
+
+
+def test_local_block_geometry():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 10, 10, p=2, q=2)
+        pi, pj = ga.my_coords()
+        assert ga.local().shape == ga.dist.block_shape(pi, pj)
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_get_patch_across_nodes():
+    ref = _ref(8, 8, seed=1)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((2, 2))
+            # patch inside block (1,1) -> rank 3, other node on 2-way nodes
+            yield from ga.get_patch((5, 7), (4, 6), out)
+            assert np.allclose(out, ref[5:7, 4:6])
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_nb_get_patch_returns_request():
+    ref = _ref(8, 8, seed=2)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((4, 4))
+            req = ga.nb_get_patch((4, 8), (4, 8), out)
+            assert not req.test()
+            yield from ctx.wait(req)
+            assert req.test()
+            assert np.allclose(out, ref[4:8, 4:8])
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_patch_spanning_blocks_raises():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(ValueError, match="spans"):
+                ga.patch_owner((2, 6), (0, 2))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_patch_out_of_range_raises():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        yield ctx.engine.timeout(0.0)
+        with pytest.raises(IndexError):
+            ga.patch_owner((0, 9), (0, 1))
+        with pytest.raises(IndexError):
+            ga.patch_owner((2, 2), (0, 1))  # empty patch
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_view_patch_same_domain():
+    ref = _ref(8, 8, seed=3)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            # rank 1 = grid (0,1), same node as rank 0 on 2-way nodes.
+            assert ga.can_view_patch((0, 4), (4, 8))
+            v = ga.view_patch((1, 3), (5, 7))
+            assert np.allclose(v, ref[1:3, 5:7])
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_view_patch_cross_domain_raises_on_cluster():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            assert not ga.can_view_patch((4, 8), (0, 4))
+            with pytest.raises(CommError):
+                ga.view_patch((4, 8), (0, 4))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_view_patch_everywhere_on_altix():
+    ref = _ref(8, 8, seed=4)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        v = ga.view_patch((4, 8), (0, 4))
+        assert np.allclose(v, ref[4:8, 0:4])
+
+    run_parallel(SGI_ALTIX, 4, prog)
+
+
+def test_put_patch():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "C", 8, 8, p=2, q=2)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ga.put_patch((4, 6), (6, 8), np.full((2, 2), 5.0))
+        yield from ctx.mpi.barrier()
+        return ga.dist
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    full = GlobalArray.assemble(run.armci, "C", run.results[0])
+    assert np.all(full[4:6, 6:8] == 5.0)
+    assert np.count_nonzero(full) == 4
+
+
+def test_uneven_distribution_roundtrip():
+    ref = _ref(11, 7, seed=5)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "U", 11, 7, p=3, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        return ga.dist
+
+    run = run_parallel(LINUX_MYRINET, 6, prog)
+    out = GlobalArray.assemble(run.armci, "U", run.results[0])
+    assert np.array_equal(out, ref)
+
+
+def test_more_ranks_than_grid_positions():
+    """Ranks beyond the grid hold empty blocks and can still participate."""
+    ref = _ref(6, 6, seed=6)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 6, 6, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 5:
+            assert ga.my_coords() is None
+            out = np.zeros((3, 3))
+            yield from ga.get_patch((0, 3), (3, 6), out)
+            assert np.allclose(out, ref[0:3, 3:6])
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+
+
+def test_load_shape_mismatch_raises():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 6, 6, p=1, q=1)
+        with pytest.raises(ValueError, match="shape"):
+            ga.load(np.zeros((5, 5)))
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 1, prog)
+
+
+def test_distribution_larger_than_machine_raises():
+    def prog(ctx):
+        with pytest.raises(ValueError, match="ranks"):
+            GlobalArray.create(ctx, "A", 8, 8, p=4, q=4)
+        yield ctx.engine.timeout(0.0)
+
+    run_parallel(LINUX_MYRINET, 2, prog)

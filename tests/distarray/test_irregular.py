@@ -1,0 +1,133 @@
+"""Tests for irregular (non-uniform) block distributions, incl. SRUMMA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import run_parallel
+from repro.core.srumma import srumma_rank
+from repro.core.tasks import build_tasks
+from repro.distarray import GlobalArray, IrregularBlock2D
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+
+class TestGeometry:
+    def test_basic_construction(self):
+        d = IrregularBlock2D(10, 10, (0, 3, 10), (0, 7, 10))
+        assert (d.p, d.q) == (2, 2)
+        assert d.block_shape(0, 0) == (3, 7)
+        assert d.block_shape(1, 1) == (7, 3)
+
+    def test_edges_must_span(self):
+        with pytest.raises(ValueError, match="must run from 0"):
+            IrregularBlock2D(10, 10, (0, 5, 9), (0, 10))
+        with pytest.raises(ValueError, match="must run from 0"):
+            IrregularBlock2D(10, 10, (1, 10), (0, 10))
+
+    def test_edges_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            IrregularBlock2D(10, 10, (0, 7, 5, 10), (0, 10))
+
+    def test_empty_blocks_allowed(self):
+        d = IrregularBlock2D(10, 10, (0, 5, 5, 10), (0, 10))
+        assert d.block_shape(1, 0) == (0, 10)
+
+    def test_owner_of_row_with_empty_block(self):
+        d = IrregularBlock2D(10, 10, (0, 5, 5, 10), (0, 10))
+        assert d.owner_of_row(4) == 0
+        assert d.owner_of_row(5) == 2  # the empty grid row 1 owns nothing
+
+    def test_patch_owner_and_local_index(self):
+        d = IrregularBlock2D(12, 12, (0, 4, 12), (0, 6, 12))
+        owner = d.patch_owner((5, 9), (7, 11))
+        assert d.coords_of(owner) == (1, 1)
+        li = d.local_index(owner, (5, 9), (7, 11))
+        assert li == (slice(1, 5), slice(1, 5))
+
+    def test_patch_spanning_raises(self):
+        d = IrregularBlock2D(12, 12, (0, 4, 12), (0, 6, 12))
+        with pytest.raises(ValueError, match="spans"):
+            d.patch_owner((2, 6), (0, 3))
+
+    @given(
+        m=st.integers(min_value=1, max_value=60),
+        cuts=st.lists(st.integers(min_value=0, max_value=60),
+                      min_size=0, max_size=4),
+    )
+    @settings(max_examples=100)
+    def test_blocks_partition_rows(self, m, cuts):
+        edges = tuple(sorted({0, m} | {c for c in cuts if c <= m}))
+        d = IrregularBlock2D(m, m, edges, (0, m))
+        covered = []
+        for pi in range(d.p):
+            lo, hi = d.row_range(pi)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(m))
+        for i in range(m):
+            pi = d.owner_of_row(i)
+            lo, hi = d.row_range(pi)
+            assert lo <= i < hi
+
+
+class TestTasksOnIrregular:
+    def test_tasks_tile_correctly(self):
+        da = IrregularBlock2D(12, 12, (0, 5, 12), (0, 3, 12))
+        db = IrregularBlock2D(12, 12, (0, 5, 12), (0, 3, 12))
+        dc = IrregularBlock2D(12, 12, (0, 5, 12), (0, 3, 12))
+        for pi in range(2):
+            for pj in range(2):
+                tasks = build_tasks(da, db, dc, coords=(pi, pj))
+                r0, r1 = dc.row_range(pi)
+                c0, c1 = dc.col_range(pj)
+                total = sum(t.flops for t in tasks)
+                assert total == 2 * (r1 - r0) * (c1 - c0) * 12
+
+
+class TestSrummaOnIrregular:
+    def _run(self, spec, edges_r, edges_c, n=12):
+        rng = np.random.default_rng(0)
+        a_ref = rng.standard_normal((n, n))
+        b_ref = rng.standard_normal((n, n))
+        dist = IrregularBlock2D(n, n, edges_r, edges_c)
+        holder = {}
+
+        def prog(ctx):
+            ga_a = GlobalArray.create(ctx, "A", n, n, dist=dist)
+            ga_b = GlobalArray.create(ctx, "B", n, n, dist=dist)
+            ga_c = GlobalArray.create(ctx, "C", n, n, dist=dist)
+            ga_a.load(a_ref)
+            ga_b.load(b_ref)
+            holder["dist"] = ga_c.dist
+            yield from ctx.mpi.barrier()
+            stats = yield from srumma_rank(ctx, ga_a, ga_b, ga_c, beta=0.0)
+            yield from ctx.mpi.barrier()
+            return stats
+
+        run = run_parallel(spec, dist.nranks, prog)
+        c = GlobalArray.assemble(run.armci, "C", holder["dist"])
+        assert np.allclose(c, a_ref @ b_ref), "irregular SRUMMA wrong"
+        return run
+
+    def test_on_cluster(self):
+        self._run(LINUX_MYRINET, (0, 5, 12), (0, 3, 12))
+
+    def test_on_shared_memory(self):
+        self._run(SGI_ALTIX, (0, 2, 7, 12), (0, 4, 8, 12))
+
+    def test_skewed_distribution(self):
+        """One rank owns most of the matrix — still correct."""
+        self._run(LINUX_MYRINET, (0, 10, 12), (0, 10, 12))
+
+    def test_with_empty_block_row(self):
+        self._run(LINUX_MYRINET, (0, 6, 6, 12), (0, 6, 12))
+
+    def test_create_with_mismatched_dims_raises(self):
+        dist = IrregularBlock2D(8, 8, (0, 8), (0, 8))
+
+        def prog(ctx):
+            with pytest.raises(ValueError, match="dist is"):
+                GlobalArray.create(ctx, "A", 9, 9, dist=dist)
+            yield ctx.engine.timeout(0.0)
+
+        run_parallel(LINUX_MYRINET, 1, prog)

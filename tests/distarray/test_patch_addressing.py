@@ -1,0 +1,76 @@
+"""Property tests for patch addressing on Block2D (owner + local index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distarray import Block2D
+
+
+@st.composite
+def _dist_and_patch(draw):
+    m = draw(st.integers(min_value=1, max_value=80))
+    n = draw(st.integers(min_value=1, max_value=80))
+    p = draw(st.integers(min_value=1, max_value=5))
+    q = draw(st.integers(min_value=1, max_value=5))
+    d = Block2D(m, n, p, q)
+    # Pick a random non-empty block, then a random patch inside it.
+    pi = draw(st.integers(min_value=0, max_value=p - 1))
+    pj = draw(st.integers(min_value=0, max_value=q - 1))
+    r0, r1 = d.row_range(pi)
+    c0, c1 = d.col_range(pj)
+    if r0 == r1 or c0 == c1:
+        return None  # empty block; skipped by the test
+    pr0 = draw(st.integers(min_value=r0, max_value=r1 - 1))
+    pr1 = draw(st.integers(min_value=pr0 + 1, max_value=r1))
+    pc0 = draw(st.integers(min_value=c0, max_value=c1 - 1))
+    pc1 = draw(st.integers(min_value=pc0 + 1, max_value=c1))
+    return d, (pi, pj), (pr0, pr1), (pc0, pc1)
+
+
+@given(_dist_and_patch())
+@settings(max_examples=200)
+def test_patch_owner_matches_block(case):
+    if case is None:
+        return
+    d, (pi, pj), rows, cols = case
+    assert d.patch_owner(rows, cols) == d.rank_of(pi, pj)
+
+
+@given(_dist_and_patch())
+@settings(max_examples=200)
+def test_local_index_roundtrip(case):
+    """Reading the owner's block with local_index equals the global slice."""
+    if case is None:
+        return
+    d, _, rows, cols = case
+    owner = d.patch_owner(rows, cols)
+    pi, pj = d.coords_of(owner)
+    full = np.arange(d.m * d.n, dtype=float).reshape(d.m, d.n)
+    block = full[d.block_slices(pi, pj)]
+    li = d.local_index(owner, rows, cols)
+    assert np.array_equal(block[li],
+                          full[rows[0]:rows[1], cols[0]:cols[1]])
+
+
+@given(_dist_and_patch())
+@settings(max_examples=100)
+def test_every_element_of_patch_has_same_owner(case):
+    if case is None:
+        return
+    d, _, rows, cols = case
+    owner = d.patch_owner(rows, cols)
+    for i in (rows[0], rows[1] - 1):
+        for j in (cols[0], cols[1] - 1):
+            assert d.owner_of(i, j) == owner
+
+
+def test_spanning_patch_detected_exactly_at_boundary():
+    d = Block2D(10, 10, 2, 2)
+    # Block boundary at row 5: [4,6) spans.
+    with pytest.raises(ValueError, match="spans"):
+        d.patch_owner((4, 6), (0, 2))
+    # [4,5) and [5,6) each stay inside one block.
+    assert d.patch_owner((4, 5), (0, 2)) == 0
+    assert d.patch_owner((5, 6), (0, 2)) == d.rank_of(1, 0)

@@ -1,0 +1,128 @@
+"""Tests for multi-owner region get/put (GA_Get / GA_Put semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import run_parallel
+from repro.distarray import GlobalArray
+from repro.machines import LINUX_MYRINET
+
+
+def _ref(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def test_get_region_spanning_all_blocks():
+    ref = _ref(12, 12)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 12, 12, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((8, 8))
+            yield from ga.get_region((2, 10), (2, 10), out)
+            assert np.allclose(out, ref[2:10, 2:10])
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_get_region_whole_matrix():
+    ref = _ref(10, 14, seed=1)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 10, 14, p=2, q=3)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 5:
+            out = np.zeros((10, 14))
+            yield from ga.get_region((0, 10), (0, 14), out)
+            assert np.allclose(out, ref)
+
+    run_parallel(LINUX_MYRINET, 6, prog)
+
+
+def test_get_region_single_block_fast_path():
+    ref = _ref(8, 8, seed=2)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8, p=2, q=2)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((2, 2))
+            yield from ga.get_region((5, 7), (5, 7), out)
+            assert np.allclose(out, ref[5:7, 5:7])
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_put_region_spanning_blocks():
+    holder = {}
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 12, 12, p=2, q=2)
+        holder["dist"] = ga.dist
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from ga.put_region((3, 9), (3, 9), np.full((6, 6), 4.0))
+        yield from ctx.mpi.barrier()
+
+    run = run_parallel(LINUX_MYRINET, 4, prog)
+    full = GlobalArray.assemble(run.armci, "A", holder["dist"])
+    assert np.all(full[3:9, 3:9] == 4.0)
+    assert full.sum() == 36 * 4.0
+
+
+def test_region_shape_mismatch_raises():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(ValueError, match="out shape"):
+                yield from ga.get_region((0, 4), (0, 4), np.zeros((3, 3)))
+            with pytest.raises(ValueError, match="data shape"):
+                yield from ga.put_region((0, 4), (0, 4), np.zeros((5, 5)))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+def test_region_out_of_bounds_raises():
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", 8, 8)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(IndexError):
+                yield from ga.get_region((0, 9), (0, 4), np.zeros((9, 4)))
+
+    run_parallel(LINUX_MYRINET, 4, prog)
+
+
+@given(
+    m=st.integers(min_value=2, max_value=30),
+    n=st.integers(min_value=2, max_value=30),
+    p=st.integers(min_value=1, max_value=3),
+    q=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_get_region_roundtrip_property(m, n, p, q, data):
+    """Any in-bounds rectangle reads back exactly."""
+    r0 = data.draw(st.integers(min_value=0, max_value=m - 1))
+    r1 = data.draw(st.integers(min_value=r0 + 1, max_value=m))
+    c0 = data.draw(st.integers(min_value=0, max_value=n - 1))
+    c1 = data.draw(st.integers(min_value=c0 + 1, max_value=n))
+    ref = _ref(m, n, seed=m * 31 + n)
+
+    def prog(ctx):
+        ga = GlobalArray.create(ctx, "A", m, n, p=p, q=q)
+        ga.load(ref)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            out = np.zeros((r1 - r0, c1 - c0))
+            yield from ga.get_region((r0, r1), (c0, c1), out)
+            assert np.allclose(out, ref[r0:r1, c0:c1])
+
+    run_parallel(LINUX_MYRINET, p * q, prog)

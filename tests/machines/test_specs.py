@@ -1,0 +1,143 @@
+"""Tests for machine specifications and platform models."""
+
+import pytest
+
+from repro.machines import (
+    CRAY_X1,
+    IBM_SP,
+    IDEAL,
+    LINUX_MYRINET,
+    PLATFORMS,
+    SGI_ALTIX,
+    CpuSpec,
+    MachineSpec,
+    MemorySpec,
+    NetworkSpec,
+    get_platform,
+)
+
+
+class TestCpuSpec:
+    def test_dgemm_time_scales_cubically(self):
+        cpu = CpuSpec(flops=1e9, peak_efficiency=1.0, small_block_knee=0)
+        t1 = cpu.dgemm_time(100, 100, 100)
+        t2 = cpu.dgemm_time(200, 200, 200)
+        assert t2 == pytest.approx(8 * t1)
+
+    def test_dgemm_time_exact(self):
+        cpu = CpuSpec(flops=2e9, peak_efficiency=1.0, small_block_knee=0)
+        # 2*m*n*k flops at 2 GFLOP/s.
+        assert cpu.dgemm_time(10, 20, 30) == pytest.approx(2 * 6000 / 2e9)
+
+    def test_small_blocks_run_below_peak(self):
+        cpu = CpuSpec(flops=1e9, peak_efficiency=0.9, small_block_knee=32)
+        assert cpu.dgemm_rate(8, 8, 8) < cpu.dgemm_rate(512, 512, 512)
+        # Knee: at block == knee the efficiency is half the plateau.
+        assert cpu.dgemm_rate(32, 32, 32) == pytest.approx(
+            0.5 * 0.9 * 1e9)
+
+    def test_efficiency_saturates(self):
+        cpu = CpuSpec(flops=1e9, peak_efficiency=0.9, small_block_knee=32)
+        assert cpu.dgemm_rate(10_000, 10_000, 10_000) <= 0.9 * 1e9
+
+    def test_min_dimension_governs(self):
+        cpu = CpuSpec(flops=1e9, peak_efficiency=0.9, small_block_knee=32)
+        assert (cpu.dgemm_rate(1000, 1000, 4)
+                == pytest.approx(cpu.dgemm_rate(4, 4, 4)))
+
+    def test_uncached_penalty(self):
+        cpu = CpuSpec(flops=1e9, uncached_remote_factor=0.25)
+        slow = cpu.dgemm_time(64, 64, 64, remote_uncached=True)
+        fast = cpu.dgemm_time(64, 64, 64, remote_uncached=False)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_zero_dim_costs_nothing(self):
+        cpu = CpuSpec(flops=1e9)
+        assert cpu.dgemm_time(0, 10, 10) == 0.0
+
+
+class TestNetworkSpec:
+    def test_rma_latency_defaults_to_double(self):
+        net = NetworkSpec(latency=5e-6, bandwidth=1e8)
+        assert net.rma_latency == pytest.approx(10e-6)
+
+    def test_explicit_rma_latency_kept(self):
+        net = NetworkSpec(latency=5e-6, bandwidth=1e8, rma_latency=42e-6)
+        assert net.rma_latency == 42e-6
+
+    def test_host_copy_default(self):
+        net = NetworkSpec(latency=1e-6, bandwidth=1e8)
+        assert net.host_copy_bandwidth == pytest.approx(2e8)
+
+
+class TestMemorySpec:
+    def test_node_bandwidth_default(self):
+        mem = MemorySpec(copy_bandwidth=1e9)
+        assert mem.node_bandwidth == pytest.approx(2e9)
+
+
+class TestMachineSpec:
+    def test_nodes_for(self):
+        assert LINUX_MYRINET.nodes_for(1) == 1
+        assert LINUX_MYRINET.nodes_for(2) == 1
+        assert LINUX_MYRINET.nodes_for(3) == 2
+        assert IBM_SP.nodes_for(256) == 16
+
+    def test_nodes_for_invalid(self):
+        with pytest.raises(ValueError):
+            LINUX_MYRINET.nodes_for(0)
+
+    def test_invalid_cpus_per_node(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="x", cpus_per_node=0,
+                        cpu=IDEAL.cpu, network=IDEAL.network,
+                        memory=IDEAL.memory)
+
+    def test_with_network_override(self):
+        spec = LINUX_MYRINET.with_network(zero_copy=False)
+        assert spec.network.zero_copy is False
+        assert LINUX_MYRINET.network.zero_copy is True  # original untouched
+        assert spec.name == LINUX_MYRINET.name
+
+    def test_with_cpu_and_memory_overrides(self):
+        spec = CRAY_X1.with_cpu(flops=1.0).with_memory(copy_bandwidth=2.0)
+        assert spec.cpu.flops == 1.0
+        assert spec.memory.copy_bandwidth == 2.0
+
+
+class TestPlatforms:
+    def test_registry_contains_all_four_paper_machines(self):
+        for name in ("linux-myrinet", "ibm-sp", "cray-x1", "sgi-altix"):
+            assert name in PLATFORMS
+
+    def test_get_platform(self):
+        assert get_platform("cray-x1") is CRAY_X1
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("bluegene")
+
+    def test_shared_memory_scopes(self):
+        assert LINUX_MYRINET.shared_memory_scope == "node"
+        assert IBM_SP.shared_memory_scope == "node"
+        assert CRAY_X1.shared_memory_scope == "machine"
+        assert SGI_ALTIX.shared_memory_scope == "machine"
+
+    def test_zero_copy_flags_match_paper(self):
+        """Myrinet GM is zero-copy; IBM LAPI is not (paper §4.1)."""
+        assert LINUX_MYRINET.network.zero_copy is True
+        assert IBM_SP.network.zero_copy is False
+
+    def test_cacheability_matches_paper(self):
+        """X1 remote memory not cacheable, Altix cacheable (paper §3.2)."""
+        assert CRAY_X1.memory.remote_cacheable is False
+        assert SGI_ALTIX.memory.remote_cacheable is True
+
+    def test_eager_threshold_is_16kb_everywhere(self):
+        """The Fig. 7 cliff sits at 16 KB on the measured platforms."""
+        for spec in (LINUX_MYRINET, IBM_SP):
+            assert spec.network.eager_threshold == 16 * 1024
+
+    def test_per_cpu_peaks_match_hardware(self):
+        assert LINUX_MYRINET.cpu.flops == pytest.approx(4.8e9)  # 2.4 GHz Xeon
+        assert IBM_SP.cpu.flops == pytest.approx(1.5e9)         # 375 MHz P3
+        assert CRAY_X1.cpu.flops == pytest.approx(12.8e9)       # X1 MSP
+        assert SGI_ALTIX.cpu.flops == pytest.approx(6.0e9)      # 1.5 GHz It2

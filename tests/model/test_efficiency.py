@@ -1,0 +1,131 @@
+"""Tests for the §2.1 analytic model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ModelParams,
+    efficiency,
+    isoefficiency_problem_size,
+    overlap_degree,
+    speedup,
+    t_comm,
+    t_par_overlap,
+    t_par_rma,
+    t_seq,
+)
+
+
+def test_sequential_time_is_cubic():
+    p = ModelParams(alpha=2.0)
+    assert t_seq(10, p) == pytest.approx(2.0 * 1000)
+
+
+def test_eq1_structure():
+    """T = N^3/P + 2 N^2/sqrt(P) t_w + 2 t_s sqrt(P)."""
+    params = ModelParams(alpha=1.0, t_w=0.5, t_s=3.0)
+    n, p = 100, 16
+    expected = (100 ** 3 / 16) + 2 * (100 ** 2 / 4) * 0.5 + 2 * 3.0 * 4
+    assert t_par_rma(n, p, params) == pytest.approx(expected)
+
+
+def test_full_overlap_leaves_only_latency_term():
+    params = ModelParams(alpha=1.0, t_w=0.5, t_s=3.0)
+    n, p = 100, 16
+    assert t_par_overlap(n, p, params, omega=0.0) == pytest.approx(
+        100 ** 3 / 16 + 2 * 3.0 * 4)
+
+
+def test_omega_one_equals_blocking():
+    params = ModelParams(alpha=1.0, t_w=0.2, t_s=1.0)
+    assert t_par_overlap(50, 4, params, omega=1.0) == pytest.approx(
+        t_par_rma(50, 4, params))
+
+
+def test_efficiency_closed_form():
+    """With t_s = 0, eta = 1 / (1 + 2 sqrt(P) t_w / N)."""
+    params = ModelParams(alpha=1.0, t_w=0.3, t_s=0.0)
+    n, p = 200, 64
+    closed = 1.0 / (1.0 + 2.0 * math.sqrt(p) * params.t_w / n)
+    assert efficiency(n, p, params) == pytest.approx(closed)
+
+
+def test_speedup_bounded_by_p():
+    params = ModelParams(alpha=1.0, t_w=0.1, t_s=0.1)
+    for p in (1, 4, 16, 64):
+        assert speedup(100, p, params) <= p + 1e-9
+
+
+def test_speedup_of_one_process_is_one():
+    params = ModelParams(alpha=1.0, t_w=0.1, t_s=0.1)
+    # With P=1 the model still charges the (degenerate) comm terms, so the
+    # speedup is slightly below 1; with zero comm it is exactly 1.
+    assert speedup(100, 1, ModelParams(alpha=1.0)) == pytest.approx(1.0)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=2000),
+    p=st.sampled_from([1, 4, 16, 64, 256]),
+    omega=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_overlap_never_slower_than_blocking(n, p, omega):
+    params = ModelParams(alpha=1.0, t_w=0.25, t_s=2.0)
+    assert (t_par_overlap(n, p, params, omega)
+            <= t_par_rma(n, p, params) + 1e-9)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=2000),
+    p=st.sampled_from([4, 16, 64]),
+)
+@settings(max_examples=100)
+def test_efficiency_improves_with_n(n, p):
+    """Bigger problems -> higher efficiency (the N/sqrt(P) law)."""
+    params = ModelParams(alpha=1.0, t_w=0.25, t_s=2.0)
+    assert efficiency(2 * n, p, params) >= efficiency(n, p, params) - 1e-12
+
+
+@given(p=st.sampled_from([1, 4, 16, 64, 256, 1024]))
+def test_isoefficiency_growth(p):
+    w = isoefficiency_problem_size(p)
+    assert w == pytest.approx(p ** 1.5)
+
+
+def test_isoefficiency_keeps_efficiency_roughly_constant():
+    """Scaling W = N^3 with P^1.5 holds eta steady (the §2.1 claim)."""
+    params = ModelParams(alpha=1.0, t_w=0.1, t_s=0.0)
+    etas = []
+    for p in (16, 64, 256, 1024):
+        n = round(isoefficiency_problem_size(p, c=1000.0) ** (1.0 / 3.0))
+        etas.append(efficiency(n, p, params))
+    assert max(etas) - min(etas) < 0.02
+
+
+def test_overlap_degree_definition():
+    assert overlap_degree(t_comp=5.0, t_comm_=10.0) == pytest.approx(0.5)
+    assert overlap_degree(t_comp=20.0, t_comm_=10.0) == 0.0  # clamped
+    assert overlap_degree(t_comp=1.0, t_comm_=0.0) == 0.0
+
+
+def test_from_machine_dimensionalisation():
+    from repro.machines import LINUX_MYRINET
+
+    params = ModelParams.from_machine(LINUX_MYRINET)
+    assert params.t_w == pytest.approx(8 / LINUX_MYRINET.network.bandwidth)
+    assert params.t_s == LINUX_MYRINET.network.rma_latency
+    assert params.alpha == pytest.approx(
+        1.0 / (LINUX_MYRINET.cpu.flops * LINUX_MYRINET.cpu.peak_efficiency))
+
+
+def test_invalid_arguments():
+    params = ModelParams()
+    with pytest.raises(ValueError):
+        t_seq(0, params)
+    with pytest.raises(ValueError):
+        t_par_rma(10, 0, params)
+    with pytest.raises(ValueError):
+        t_par_overlap(10, 4, params, omega=1.5)

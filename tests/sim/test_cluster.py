@@ -1,0 +1,101 @@
+"""Tests for Machine topology: nodes, domains, paths."""
+
+import pytest
+
+from repro.machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
+from repro.sim import Machine
+
+
+class TestNodeLayout:
+    def test_node_count(self):
+        assert len(Machine(LINUX_MYRINET, 8).nodes) == 4   # 2-way
+        assert len(Machine(IBM_SP, 64).nodes) == 4         # 16-way
+        assert len(Machine(IBM_SP, 65).nodes) == 5         # partial node
+
+    def test_partial_last_node_has_fewer_cpus(self):
+        m = Machine(LINUX_MYRINET, 5)
+        assert len(m.nodes[0].cpus) == 2
+        assert len(m.nodes[2].cpus) == 1
+
+    def test_rank_to_node_mapping(self):
+        m = Machine(IBM_SP, 48)
+        assert m.node_of(0) == 0
+        assert m.node_of(15) == 0
+        assert m.node_of(16) == 1
+        assert m.node_of(47) == 2
+
+    def test_invalid_rank_raises(self):
+        m = Machine(LINUX_MYRINET, 4)
+        with pytest.raises(IndexError):
+            m.node_of(4)
+        with pytest.raises(IndexError):
+            m.cpu(-1)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            Machine(LINUX_MYRINET, 0)
+
+    def test_each_rank_has_distinct_cpu(self):
+        m = Machine(LINUX_MYRINET, 6)
+        cpus = [m.cpu(r) for r in range(6)]
+        assert len(set(id(c) for c in cpus)) == 6
+
+
+class TestDomains:
+    def test_cluster_domains_are_nodes(self):
+        m = Machine(LINUX_MYRINET, 8)
+        assert m.domain_of(0) == 0
+        assert m.domain_of(3) == 1
+        assert m.same_domain(0, 1)
+        assert not m.same_domain(1, 2)
+        assert m.n_domains == 4
+
+    def test_machine_scope_single_domain(self):
+        for spec in (SGI_ALTIX, CRAY_X1):
+            m = Machine(spec, 16)
+            assert m.n_domains == 1
+            assert all(m.domain_of(r) == 0 for r in range(16))
+            assert m.same_domain(0, 15)
+            # But nodes remain distinct hardware.
+            assert not m.same_node(0, 15)
+
+    def test_ranks_in_domain(self):
+        m = Machine(IBM_SP, 40)
+        assert m.ranks_in_domain(0) == list(range(16))
+        assert m.ranks_in_domain(2) == list(range(32, 40))
+
+    def test_ranks_in_domain_machine_scope(self):
+        m = Machine(SGI_ALTIX, 6)
+        assert m.ranks_in_domain(0) == list(range(6))
+        with pytest.raises(ValueError):
+            m.ranks_in_domain(1)
+
+
+class TestPaths:
+    def test_network_path_cross_node(self):
+        m = Machine(LINUX_MYRINET, 4)
+        path = m.network_path(0, 2)
+        assert path == [m.nodes[0].nic_out, m.nodes[1].nic_in]
+
+    def test_network_path_same_node_uses_memory(self):
+        m = Machine(LINUX_MYRINET, 4)
+        assert m.network_path(0, 1) == [m.nodes[0].mem]
+
+    def test_shmem_path_same_node(self):
+        m = Machine(LINUX_MYRINET, 4)
+        assert m.shmem_path(0, 1) == [m.nodes[0].mem]
+
+    def test_shmem_path_cross_node_on_cluster_raises(self):
+        m = Machine(LINUX_MYRINET, 4)
+        with pytest.raises(ValueError, match="not in one shared-memory"):
+            m.shmem_path(0, 2)
+
+    def test_shmem_path_cross_brick_on_altix(self):
+        m = Machine(SGI_ALTIX, 4)
+        path = m.shmem_path(0, 2)
+        assert path == [m.nodes[0].nic_out, m.nodes[1].nic_in]
+
+    def test_dgemm_time_delegates_to_spec(self):
+        m = Machine(LINUX_MYRINET, 2)
+        assert m.dgemm_time(64, 64, 64) == pytest.approx(
+            LINUX_MYRINET.cpu.dgemm_time(64, 64, 64))

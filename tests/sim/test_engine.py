@@ -1,0 +1,354 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, SimulationError, Timeout
+
+
+def test_timeout_ordering():
+    eng = Engine()
+    log = []
+
+    def worker(name, delay):
+        yield Timeout(delay)
+        log.append((eng.now, name))
+        return name
+
+    eng.spawn(worker("a", 2.0))
+    eng.spawn(worker("b", 1.0))
+    eng.spawn(worker("c", 3.0))
+    eng.run()
+    assert log == [(1.0, "b"), (2.0, "a"), (3.0, "c")]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    eng = Engine()
+    log = []
+
+    def worker(name):
+        yield Timeout(1.0)
+        log.append(name)
+
+    for name in "abcde":
+        eng.spawn(worker(name))
+    eng.run()
+    assert log == list("abcde")
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def worker():
+        yield Timeout(1.0)
+        return 42
+
+    p = eng.spawn(worker())
+    eng.run()
+    assert p.ok
+    assert p.value == 42
+
+
+def test_joining_a_process_gets_its_return_value():
+    eng = Engine()
+    results = []
+
+    def child():
+        yield Timeout(2.0)
+        return "payload"
+
+    def parent():
+        val = yield eng.spawn(child())
+        results.append((eng.now, val))
+
+    eng.spawn(parent())
+    eng.run()
+    assert results == [(2.0, "payload")]
+
+
+def test_yielding_a_generator_spawns_it():
+    eng = Engine()
+
+    def child():
+        yield Timeout(1.5)
+        return "x"
+
+    def parent():
+        val = yield child()
+        return val
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.value == "x"
+    assert eng.now == 1.5
+
+
+def test_event_succeed_wakes_waiters():
+    eng = Engine()
+    ev = eng.event("gate")
+    woken = []
+
+    def waiter(i):
+        val = yield ev
+        woken.append((i, val))
+
+    def trigger():
+        yield Timeout(5.0)
+        ev.succeed("go")
+
+    eng.spawn(waiter(0))
+    eng.spawn(waiter(1))
+    eng.spawn(trigger())
+    eng.run()
+    assert woken == [(0, "go"), (1, "go")]
+    assert eng.now == 5.0
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_failed_event_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield Timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    eng.spawn(waiter())
+    eng.spawn(trigger())
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_yielding_triggered_event_resumes_without_time_advance():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("already")
+    times = []
+
+    def waiter():
+        val = yield ev
+        times.append((eng.now, val))
+
+    eng.spawn(waiter())
+    eng.run()
+    assert times == [(0.0, "already")]
+
+
+def test_all_of_collects_values_in_order():
+    eng = Engine()
+
+    def worker(delay, val):
+        yield Timeout(delay)
+        return val
+
+    def parent():
+        vals = yield eng.all_of([
+            eng.spawn(worker(3.0, "slow")),
+            eng.spawn(worker(1.0, "fast")),
+        ])
+        return vals
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.value == ["slow", "fast"]
+    assert eng.now == 3.0
+
+
+def test_all_of_empty_completes_immediately():
+    eng = Engine()
+    ev = eng.all_of([])
+    assert ev.triggered and ev.value == []
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+
+    def worker(delay, val):
+        yield Timeout(delay)
+        return val
+
+    def parent():
+        idx, val = yield eng.any_of([
+            eng.spawn(worker(3.0, "slow")),
+            eng.spawn(worker(1.0, "fast")),
+        ])
+        return (idx, val, eng.now)
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.value == (1, "fast", 1.0)
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+
+    def worker():
+        yield Timeout(10.0)
+
+    eng.spawn(worker())
+    t = eng.run(until=4.0)
+    assert t == 4.0
+    assert eng.now == 4.0
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_unobserved_process_crash_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("dead")
+
+    eng.spawn(bad())
+    with pytest.raises(RuntimeError, match="dead"):
+        eng.run()
+
+
+def test_crash_collection_mode():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("dead")
+
+    eng.spawn(bad())
+    eng.run(raise_crashes=False)
+    assert len(eng.crashed_processes) == 1
+    assert isinstance(eng.crashed_processes[0].value, RuntimeError)
+
+
+def test_observed_process_crash_delivered_to_parent():
+    eng = Engine()
+    caught = []
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("child died")
+
+    def parent():
+        try:
+            yield eng.spawn(bad())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    eng.spawn(parent())
+    eng.run()
+    assert caught == ["child died"]
+
+
+def test_interrupt_wakes_blocked_process():
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as intr:
+            log.append((eng.now, intr.cause))
+
+    def interrupter(target):
+        yield Timeout(2.0)
+        target.interrupt("wakeup")
+
+    p = eng.spawn(sleeper())
+    eng.spawn(interrupter(p))
+    eng.run()
+    assert log == [(2.0, "wakeup")]
+
+
+def test_interrupted_process_not_resumed_by_stale_event():
+    eng = Engine()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield Timeout(3.0)
+            resumed.append("timeout")
+        except Interrupt:
+            yield Timeout(10.0)
+            resumed.append("after-interrupt")
+
+    def interrupter(target):
+        yield Timeout(1.0)
+        target.interrupt()
+
+    p = eng.spawn(sleeper())
+    eng.spawn(interrupter(p))
+    eng.run()
+    # The original 3.0 timeout fires but must not resume the process.
+    assert resumed == ["after-interrupt"]
+    assert eng.now == 11.0
+
+
+def test_spawn_requires_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_awaitable_raises():
+    eng = Engine()
+
+    def bad():
+        yield 42
+
+    eng.spawn(bad())
+    eng.run(raise_crashes=False)
+    assert len(eng.crashed_processes) == 1
+    assert isinstance(eng.crashed_processes[0].value, TypeError)
+
+
+def test_max_steps_guard():
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield Timeout(0.0)
+
+    eng.spawn(spinner())
+    with pytest.raises(SimulationError, match="steps"):
+        eng.run(max_steps=100)
+
+
+def test_deterministic_replay():
+    def build_and_run():
+        eng = Engine()
+        log = []
+
+        def worker(i):
+            for j in range(3):
+                yield Timeout(0.5 * ((i + j) % 4))
+                log.append((eng.now, i, j))
+
+        for i in range(8):
+            eng.spawn(worker(i))
+        eng.run()
+        return log
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,205 @@
+"""Additional edge-case coverage for the engine and combinators."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_all_of_fails_fast_on_child_failure():
+    eng = Engine()
+
+    def good():
+        yield Timeout(5.0)
+        return "late"
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("child failed")
+
+    caught = {}
+
+    def parent():
+        try:
+            yield eng.all_of([eng.spawn(good()), eng.spawn(bad())])
+        except ValueError as exc:
+            caught["t"] = eng.now
+            caught["msg"] = str(exc)
+
+    eng.spawn(parent())
+    eng.run()
+    # Failure propagates at t=1, not after the slow child.
+    assert caught["t"] == 1.0
+    assert caught["msg"] == "child failed"
+
+
+def test_any_of_failure_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("first to finish fails")
+
+    def slow():
+        yield Timeout(10.0)
+
+    outcome = {}
+
+    def parent():
+        try:
+            yield eng.any_of([eng.spawn(bad()), eng.spawn(slow())])
+        except RuntimeError:
+            outcome["failed_at"] = eng.now
+
+    eng.spawn(parent())
+    eng.run()
+    assert outcome["failed_at"] == 1.0
+
+
+def test_event_fail_requires_exception_instance():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_timeout_carries_value():
+    eng = Engine()
+
+    def p():
+        val = yield eng.timeout(1.0, value="payload")
+        return val
+
+    proc = eng.spawn(p())
+    eng.run()
+    assert proc.value == "payload"
+
+
+def test_interrupt_during_resource_occupancy_releases_slot():
+    """Resource.occupy uses try/finally: an interrupt mid-hold must not
+    leak the slot."""
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def holder():
+        try:
+            yield from res.occupy(100.0)
+        except Interrupt:
+            order.append(("interrupted", eng.now))
+
+    def interrupter(target):
+        yield Timeout(2.0)
+        target.interrupt()
+
+    def second():
+        yield Timeout(3.0)
+        yield from res.occupy(1.0)
+        order.append(("second_done", eng.now))
+
+    h = eng.spawn(holder())
+    eng.spawn(interrupter(h))
+    eng.spawn(second())
+    eng.run()
+    assert ("interrupted", 2.0) in order
+    # The slot was freed, so the second process gets it at t=3.
+    assert ("second_done", 4.0) in order
+
+
+def test_interrupting_completed_process_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield Timeout(1.0)
+        return 5
+
+    p = eng.spawn(quick())
+    eng.run()
+    p.interrupt()  # must not raise or corrupt
+    eng.run()
+    assert p.value == 5
+
+
+def test_run_with_empty_heap_respects_until():
+    eng = Engine()
+    t = eng.run(until=7.5)
+    assert t == 7.5
+    assert eng.now == 7.5
+
+
+def test_pending_events_counts_live_entries():
+    eng = Engine()
+
+    def sleeper():
+        yield Timeout(10.0)
+
+    eng.spawn(sleeper())
+    eng.run(until=1.0)
+    assert eng.pending_events >= 1
+
+
+def test_nested_process_chain():
+    """Generators yielding generators yielding generators."""
+    eng = Engine()
+
+    def level3():
+        yield Timeout(1.0)
+        return 3
+
+    def level2():
+        v = yield level3()
+        return v + 2
+
+    def level1():
+        v = yield level2()
+        return v + 1
+
+    p = eng.spawn(level1())
+    eng.run()
+    assert p.value == 6
+    assert eng.now == 1.0
+
+
+def test_event_without_engine_binding_gets_bound_on_yield():
+    eng = Engine()
+    ev = Event(engine=None)  # type: ignore[arg-type]
+    woken = {}
+
+    def waiter():
+        val = yield ev
+        woken["v"] = val
+
+    def trigger():
+        yield Timeout(1.0)
+        ev.succeed("ok")
+
+    eng.spawn(waiter())
+    eng.spawn(trigger())
+    eng.run()
+    assert woken["v"] == "ok"
+
+
+def test_schedule_into_past_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng._schedule(-1.0, lambda: None)
+
+
+def test_process_return_none_is_fine():
+    eng = Engine()
+
+    def p():
+        yield Timeout(1.0)
+
+    proc = eng.spawn(p())
+    eng.run()
+    assert proc.ok
+    assert proc.value is None

@@ -1,0 +1,102 @@
+"""Unit tests for daemon-interference injection."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.core import srumma_multiply
+from repro.machines import LINUX_MYRINET
+from repro.sim import InterferencePattern, Machine, spawn_daemons
+
+
+def test_pattern_validation():
+    with pytest.raises(ValueError):
+        InterferencePattern(load=1.0)
+    with pytest.raises(ValueError):
+        InterferencePattern(load=-0.1)
+    with pytest.raises(ValueError):
+        InterferencePattern(mean_burst=0.0)
+    with pytest.raises(ValueError):
+        InterferencePattern(quantum=0.0)
+
+
+def test_mean_gap_matches_load():
+    p = InterferencePattern(load=0.1, mean_burst=1e-3)
+    # busy/(busy+idle) = load -> idle = busy*(1-load)/load
+    assert p.mean_gap == pytest.approx(1e-3 * 0.9 / 0.1)
+    assert InterferencePattern(load=0.0).mean_gap == float("inf")
+
+
+def test_zero_load_spawns_nothing():
+    m = Machine(LINUX_MYRINET, 4)
+    assert spawn_daemons(m, None) == []
+    assert spawn_daemons(m, InterferencePattern(load=0.0)) == []
+    assert m.preemption_quantum is None
+
+
+def test_daemons_spawn_one_per_cpu():
+    m = Machine(LINUX_MYRINET, 6)
+    daemons = spawn_daemons(m, InterferencePattern(load=0.05))
+    assert len(daemons) == 6
+    assert m.preemption_quantum == pytest.approx(2e-3)
+    for d in daemons:
+        d.interrupt()
+    m.engine.run()
+
+
+def test_interference_slows_a_run():
+    clean = srumma_multiply(LINUX_MYRINET, 8, 512, 512, 512,
+                            payload="synthetic").elapsed
+    noisy = srumma_multiply(
+        LINUX_MYRINET, 8, 512, 512, 512, payload="synthetic",
+        interference=InterferencePattern(load=0.05, seed=1)).elapsed
+    assert noisy > clean * 1.01
+
+
+def test_interference_preserves_numerics():
+    res = srumma_multiply(
+        LINUX_MYRINET, 4, 48, 48, 48,
+        interference=InterferencePattern(load=0.05, seed=2))
+    assert res.max_error < 1e-10 * 48
+
+
+def test_interference_is_deterministic():
+    def one():
+        return srumma_multiply(
+            LINUX_MYRINET, 4, 128, 128, 128, payload="synthetic",
+            interference=InterferencePattern(load=0.03, seed=7)).elapsed
+
+    assert one() == one()
+
+
+def test_different_seeds_differ():
+    """The run must be long enough for bursts to land inside it (at 3%
+    load the mean inter-burst gap is ~32 ms)."""
+    def one(seed):
+        return srumma_multiply(
+            LINUX_MYRINET, 4, 512, 512, 512, payload="synthetic",
+            interference=InterferencePattern(load=0.03, seed=seed)).elapsed
+
+    assert one(1) != one(2)
+
+
+def test_daemons_shut_down_cleanly_after_crash():
+    """A crashing rank still tears the daemons down (no hung simulation)."""
+    def prog(ctx):
+        yield ctx.engine.timeout(1e-4)
+        if ctx.rank == 0:
+            raise RuntimeError("rank failure under interference")
+
+    with pytest.raises(RuntimeError, match="rank failure"):
+        run_parallel(LINUX_MYRINET, 4, prog,
+                     interference=InterferencePattern(load=0.05))
+
+
+def test_timeslicing_does_not_change_clean_timing():
+    """Without interference the quantum stays None: timings bit-match the
+    pre-interference code path."""
+    a = srumma_multiply(LINUX_MYRINET, 8, 256, 256, 256,
+                        payload="synthetic").elapsed
+    b = srumma_multiply(LINUX_MYRINET, 8, 256, 256, 256,
+                        payload="synthetic", interference=None).elapsed
+    assert a == b

@@ -1,0 +1,197 @@
+"""Unit tests for the max-min fair flow network."""
+
+import pytest
+
+from repro.sim import Engine, FlowNetwork, Link, Timeout
+
+
+def make_net():
+    eng = Engine()
+    return eng, FlowNetwork(eng)
+
+
+def test_single_flow_time_is_latency_plus_bytes_over_bandwidth():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    done = net.transfer(1000.0, [link], latency=2.0)
+    eng.run()
+    assert done.triggered
+    assert eng.now == pytest.approx(2.0 + 1000.0 / 100.0)
+
+
+def test_zero_byte_transfer_costs_only_latency():
+    eng, net = make_net()
+    done = net.transfer(0.0, [], latency=3.0)
+    eng.run()
+    assert done.triggered
+    assert eng.now == pytest.approx(3.0)
+
+
+def test_zero_byte_zero_latency_completes_immediately():
+    eng, net = make_net()
+    done = net.transfer(0.0, [])
+    assert done.triggered
+
+
+def test_two_flows_share_one_link_fairly():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    d1 = net.transfer(1000.0, [link])
+    d2 = net.transfer(1000.0, [link])
+    eng.run()
+    # Each gets 50 B/s for the whole duration: 20 s.
+    assert eng.now == pytest.approx(20.0)
+    assert d1.triggered and d2.triggered
+
+
+def test_flow_speeds_up_when_contender_finishes():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    finish_times = {}
+
+    def start(label, size, at):
+        def proc():
+            yield Timeout(at)
+            done = net.transfer(size, [link], label=label)
+            yield done
+            finish_times[label] = eng.now
+        eng.spawn(proc())
+
+    start("short", 500.0, 0.0)
+    start("long", 1500.0, 0.0)
+    eng.run()
+    # Both run at 50 B/s until short finishes at t=10 having moved 500 B;
+    # long has 1000 B left and then runs at 100 B/s, finishing at t=20.
+    assert finish_times["short"] == pytest.approx(10.0)
+    assert finish_times["long"] == pytest.approx(20.0)
+
+
+def test_late_arrival_slows_existing_flow():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    finish = {}
+
+    def first():
+        done = net.transfer(1000.0, [link], label="first")
+        yield done
+        finish["first"] = eng.now
+
+    def second():
+        yield Timeout(5.0)
+        done = net.transfer(250.0, [link], label="second")
+        yield done
+        finish["second"] = eng.now
+
+    eng.spawn(first())
+    eng.spawn(second())
+    eng.run()
+    # first: 500 B in [0,5] at 100 B/s; then 50 B/s shared. second needs
+    # 250 B at 50 B/s -> finishes at t=10; first then has 250 B left at
+    # 100 B/s -> finishes at t=12.5.
+    assert finish["second"] == pytest.approx(10.0)
+    assert finish["first"] == pytest.approx(12.5)
+
+
+def test_max_min_with_distinct_bottlenecks():
+    eng, net = make_net()
+    a = Link("a", bandwidth=100.0)
+    b = Link("b", bandwidth=30.0)
+    # f1 crosses a only; f2 crosses a and b. Max-min: f2 capped at 30 by b,
+    # f1 gets the residual 70 on a.
+    d1 = net.transfer(700.0, [a], label="f1")
+    d2 = net.transfer(300.0, [a, b], label="f2")
+    eng.run()
+    assert d1.triggered and d2.triggered
+    assert eng.now == pytest.approx(10.0)  # both finish exactly at t=10
+
+
+def test_bytes_carried_accounting():
+    eng, net = make_net()
+    link = Link("l", bandwidth=50.0)
+    net.transfer(200.0, [link])
+    net.transfer(300.0, [link])
+    eng.run()
+    assert link.bytes_carried == pytest.approx(500.0)
+
+
+def test_parallel_disjoint_links_full_rate():
+    eng, net = make_net()
+    links = [Link(f"l{i}", bandwidth=100.0) for i in range(4)]
+    for l in links:
+        net.transfer(1000.0, [l])
+    eng.run()
+    assert eng.now == pytest.approx(10.0)
+
+
+def test_contended_versus_diagonal_pattern():
+    """The §3.1 mechanism: 4 flows into one NIC vs 4 flows into 4 NICs."""
+    # Contended: all flows share one ingress link.
+    eng, net = make_net()
+    ingress = Link("in", bandwidth=100.0)
+    egresses = [Link(f"out{i}", bandwidth=100.0) for i in range(4)]
+    for e in egresses:
+        net.transfer(1000.0, [e, ingress])
+    eng.run()
+    contended_time = eng.now
+
+    # Diagonal: each flow uses its own ingress link.
+    eng2, net2 = make_net()
+    for i in range(4):
+        net2.transfer(1000.0, [Link(f"o{i}", 100.0), Link(f"i{i}", 100.0)])
+    eng2.run()
+    diagonal_time = eng2.now
+
+    assert contended_time == pytest.approx(40.0)
+    assert diagonal_time == pytest.approx(10.0)
+    assert contended_time / diagonal_time == pytest.approx(4.0)
+
+
+def test_negative_size_rejected():
+    eng, net = make_net()
+    with pytest.raises(ValueError):
+        net.transfer(-5.0, [Link("l", 10.0)])
+
+
+def test_nonzero_transfer_needs_path():
+    eng, net = make_net()
+    with pytest.raises(ValueError):
+        net.transfer(10.0, [])
+
+
+def test_link_requires_positive_bandwidth():
+    with pytest.raises(ValueError):
+        Link("bad", 0.0)
+
+
+def test_completed_flow_count():
+    eng, net = make_net()
+    link = Link("l", 100.0)
+    for _ in range(3):
+        net.transfer(10.0, [link])
+    eng.run()
+    assert net.completed_flows == 3
+    assert net.active_flow_count == 0
+
+
+def test_many_flows_conservation():
+    """Total bytes delivered equals total bytes requested."""
+    eng, net = make_net()
+    links = [Link(f"l{i}", bandwidth=10.0 + 7.0 * i) for i in range(5)]
+    sizes = []
+
+    def launcher():
+        for i in range(40):
+            size = 100.0 + (i * 37) % 400
+            path = [links[i % 5], links[(i * 3 + 1) % 5]]
+            if path[0] is path[1]:
+                path = [path[0]]
+            sizes.append(size)
+            net.transfer(size, path, label=f"f{i}")
+            yield Timeout(0.5)
+
+    eng.spawn(launcher())
+    eng.run()
+    assert net.completed_flows == 40
+    total_carried = sum(l.bytes_carried for l in links)
+    # Each flow crosses 1 or 2 links; carried >= sum(sizes).
+    assert total_carried >= sum(sizes) - 1e-6

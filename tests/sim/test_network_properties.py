@@ -1,0 +1,171 @@
+"""Property-based tests for the max-min fair flow network."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FlowNetwork, Link, Timeout
+
+
+@st.composite
+def _flow_soups(draw):
+    """A random set of links and flows over them."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    bandwidths = [draw(st.floats(min_value=1.0, max_value=1000.0))
+                  for _ in range(n_links)]
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = []
+    for _ in range(n_flows):
+        size = draw(st.floats(min_value=1.0, max_value=10_000.0))
+        path_len = draw(st.integers(min_value=1, max_value=min(3, n_links)))
+        path = draw(st.permutations(range(n_links)))[:path_len]
+        start = draw(st.floats(min_value=0.0, max_value=5.0))
+        flows.append((size, tuple(path), start))
+    return bandwidths, flows
+
+
+@given(_flow_soups())
+@settings(max_examples=150, deadline=None)
+def test_all_flows_complete_and_bytes_conserved(soup):
+    bandwidths, flow_specs = soup
+    eng = Engine()
+    net = FlowNetwork(eng)
+    links = [Link(f"l{i}", bw) for i, bw in enumerate(bandwidths)]
+
+    def launcher():
+        t = 0.0
+        for size, path, start in sorted(flow_specs, key=lambda f: f[2]):
+            if start > t:
+                yield Timeout(start - t)
+                t = start
+            net.transfer(size, [links[i] for i in path])
+
+    eng.spawn(launcher())
+    eng.run()
+    assert net.completed_flows == len(flow_specs)
+    assert net.active_flow_count == 0
+    # Each link carried at least the bytes of every flow crossing it.
+    for i, link in enumerate(links):
+        expected = sum(size for size, path, _ in flow_specs if i in path)
+        assert link.bytes_carried == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@given(_flow_soups())
+@settings(max_examples=150, deadline=None)
+def test_finish_time_bounded_by_link_saturation(soup):
+    """Lower bound: no link can drain its total traffic faster than its
+    bandwidth allows; upper bound: serialising everything."""
+    bandwidths, flow_specs = soup
+    eng = Engine()
+    net = FlowNetwork(eng)
+    links = [Link(f"l{i}", bw) for i, bw in enumerate(bandwidths)]
+    last_start = max(start for _, _, start in flow_specs)
+
+    def launcher():
+        t = 0.0
+        for size, path, start in sorted(flow_specs, key=lambda f: f[2]):
+            if start > t:
+                yield Timeout(start - t)
+                t = start
+            net.transfer(size, [links[i] for i in path])
+
+    eng.spawn(launcher())
+    finish = eng.run()
+
+    lower = max(
+        sum(size for size, path, _ in flow_specs if i in path) / bw
+        for i, bw in enumerate(bandwidths)
+    )
+    assert finish >= lower * (1 - 1e-9)
+    upper = last_start + sum(
+        size / min(bandwidths[i] for i in path)
+        for size, path, _ in flow_specs
+    )
+    assert finish <= upper * (1 + 1e-9) + 1e-9
+
+
+@given(
+    bw=st.floats(min_value=1.0, max_value=1000.0),
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1000.0),
+                   min_size=1, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_equal_sharing_on_single_link(bw, sizes):
+    """All flows on one link, same start: finish order matches size order,
+    and total time equals total bytes / bandwidth (work conservation)."""
+    eng = Engine()
+    net = FlowNetwork(eng)
+    link = Link("l", bw)
+    events = [net.transfer(s, [link]) for s in sizes]
+    finish = eng.run()
+    assert finish == pytest.approx(sum(sizes) / bw, rel=1e-9)
+    assert all(ev.triggered for ev in events)
+
+
+@given(
+    bw=st.floats(min_value=10.0, max_value=100.0),
+    size=st.floats(min_value=10.0, max_value=1000.0),
+    latency=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_uncontended_flow_matches_analytic_time(bw, size, latency):
+    eng = Engine()
+    net = FlowNetwork(eng)
+    link = Link("l", bw)
+    net.transfer(size, [link], latency=latency)
+    finish = eng.run()
+    assert finish == pytest.approx(latency + size / bw, rel=1e-9)
+
+
+def test_max_min_rates_snapshot():
+    """Direct check of the allocation: rates are max-min fair."""
+    eng = Engine()
+    net = FlowNetwork(eng)
+    a = Link("a", 100.0)
+    b = Link("b", 10.0)
+    # f1 on a; f2 on a+b; f3 on b.
+    net.transfer(1e9, [a], label="f1")
+    net.transfer(1e9, [a, b], label="f2")
+    net.transfer(1e9, [b], label="f3")
+    flows = {f.label: f for f in net._flows}
+    # b is the bottleneck for f2/f3: 5 each; f1 takes the rest of a: 95.
+    assert flows["f2"].rate == pytest.approx(5.0)
+    assert flows["f3"].rate == pytest.approx(5.0)
+    assert flows["f1"].rate == pytest.approx(95.0)
+    # No link oversubscribed.
+    assert flows["f1"].rate + flows["f2"].rate <= 100.0 + 1e-9
+    assert flows["f2"].rate + flows["f3"].rate <= 10.0 + 1e-9
+
+
+@given(_flow_soups())
+@settings(max_examples=75, deadline=None)
+def test_no_link_oversubscribed_at_any_reallocation(soup):
+    """Invariant probe: after every start, current rates never oversubscribe
+    any link."""
+    bandwidths, flow_specs = soup
+    eng = Engine()
+    net = FlowNetwork(eng)
+    links = [Link(f"l{i}", bw) for i, bw in enumerate(bandwidths)]
+
+    violations = []
+
+    def check():
+        for link in links:
+            total = sum(f.rate for f in link.flows)
+            if total > link.bandwidth * (1 + 1e-9):
+                violations.append((link.name, total, link.bandwidth))
+
+    def launcher():
+        t = 0.0
+        for size, path, start in sorted(flow_specs, key=lambda f: f[2]):
+            if start > t:
+                yield Timeout(start - t)
+                t = start
+            net.transfer(size, [links[i] for i in path])
+            check()
+
+    eng.spawn(launcher())
+    eng.run()
+    assert violations == []

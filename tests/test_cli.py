@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_platforms_lists_all(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("linux-myrinet", "ibm-sp", "cray-x1", "sgi-altix", "ideal"):
+        assert name in out
+
+
+def test_run_square(capsys):
+    assert main(["run", "--platform", "linux-myrinet", "--nranks", "4",
+                 "--size", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "GFLOP/s" in out
+    assert "verified numerically" in out
+
+
+def test_run_rectangular_synthetic(capsys):
+    assert main(["run", "--platform", "sgi-altix", "--nranks", "8",
+                 "--m", "64", "--n", "32", "--k", "48",
+                 "--payload", "synthetic"]) == 0
+    out = capsys.readouterr().out
+    assert "64x32x48" in out
+    assert "verified" not in out
+
+
+def test_run_transpose_flags(capsys):
+    assert main(["run", "--platform", "linux-myrinet", "--nranks", "4",
+                 "--size", "24", "--transa", "--transb"]) == 0
+    assert "TT" in capsys.readouterr().out
+
+
+def test_run_pdgemm(capsys):
+    assert main(["run", "--algorithm", "pdgemm", "--nranks", "4",
+                 "--size", "32"]) == 0
+    assert "pdgemm" in capsys.readouterr().out
+
+
+def test_run_without_size_errors(capsys):
+    assert main(["run", "--nranks", "4"]) == 2
+    assert "--size" in capsys.readouterr().err
+
+
+def test_run_unknown_platform_errors(capsys):
+    assert main(["run", "--platform", "bluegene", "--size", "16"]) == 2
+    assert "unknown platform" in capsys.readouterr().err
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--platform", "linux-myrinet", "--nranks", "4",
+                 "--sizes", "64,128", "--algorithms", "srumma,pdgemm"]) == 0
+    out = capsys.readouterr().out
+    assert "srumma GF/s" in out
+    assert "pdgemm GF/s" in out
+    assert "64" in out and "128" in out
+
+
+def test_sweep_unknown_algorithm_errors(capsys):
+    assert main(["sweep", "--algorithms", "strassen"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_bandwidth(capsys):
+    assert main(["bandwidth", "--platform", "ibm-sp",
+                 "--protocol", "armci_get"]) == 0
+    out = capsys.readouterr().out
+    assert "MB/s" in out
+    assert "1KB" in out
+
+
+def test_overlap(capsys):
+    assert main(["overlap", "--platform", "linux-myrinet",
+                 "--protocol", "mpi"]) == 0
+    assert "overlap" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bandwidth", "--protocol", "carrier-pigeon"])

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast example scripts run end-to-end and verify.
+
+Only the examples that finish in seconds are exercised (the sweep-heavy
+ones are effectively benchmarks; they are executed by hand / CI nightly).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "verified"),
+    ("pipeline_trace.py", "dgemm"),
+    ("irregular_distribution.py", "verified"),
+]
+
+
+@pytest.mark.parametrize("script,needle", FAST_EXAMPLES,
+                         ids=[s for s, _ in FAST_EXAMPLES])
+def test_example_runs_clean(script, needle):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout
+
+
+def test_all_examples_are_listed_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from README"
