@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the simulator itself.
+
+Unlike the figure-reproduction benchmarks (which assert *virtual-time*
+shapes), this harness times how long the simulator takes in *host* seconds
+to run canonical synthetic workloads — the quantity the perf work on the
+event engine, the max-min allocator, and the plan cache actually moves.
+
+Workloads: synthetic (timing-only) SRUMMA runs at 64–256 ranks on all four
+paper machine models, plus the 256-rank *contended* workload (diagonal
+shift disabled so many concurrent flows pile onto shared NIC links) that
+stresses the fairness reallocator hardest.
+
+Each workload runs ``--reps`` times (default 3) and reports the median.
+Results land in ``BENCH_wallclock.json`` at the repo root so successive
+PRs accumulate a perf trajectory; pass ``--baseline FILE`` to merge a
+previous run's medians in and compute speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --baseline BENCH_wallclock.json --out BENCH_wallclock.json
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --only contended
+
+The pytest wrapper at the bottom is marked ``slow`` and only runs under
+``-m slow``; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.api import srumma_multiply  # noqa: E402
+from repro.core.schedule import ScheduleOptions  # noqa: E402
+from repro.core.srumma import SrummaOptions  # noqa: E402
+from repro.machines.platforms import get_platform  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
+SCHEMA_VERSION = 1
+
+# (name, machine, nranks, mnk, diagonal_shift).  The contended workload is
+# the acceptance gate: every CPU of a node fetches from the same remote
+# node, so flows stampede shared NIC links and the fairness reallocator
+# fires constantly.  It is listed first so partial runs still cover it.
+WORKLOADS: list[tuple[str, str, int, int, bool]] = [
+    ("myrinet-256-contended", "linux-myrinet", 256, 2048, False),
+    ("myrinet-64", "linux-myrinet", 64, 2048, True),
+    ("myrinet-128", "linux-myrinet", 128, 2048, True),
+    ("myrinet-256", "linux-myrinet", 256, 2048, True),
+    ("ibm-sp-64", "ibm-sp", 64, 2048, True),
+    ("ibm-sp-128", "ibm-sp", 128, 2048, True),
+    ("ibm-sp-256", "ibm-sp", 256, 2048, True),
+    ("cray-x1-64", "cray-x1", 64, 2048, True),
+    ("cray-x1-128", "cray-x1", 128, 2048, True),
+    ("cray-x1-256", "cray-x1", 256, 2048, True),
+    ("altix-64", "sgi-altix", 64, 2048, True),
+    ("altix-128", "sgi-altix", 128, 2048, True),
+    ("altix-256", "sgi-altix", 256, 2048, True),
+]
+
+
+def run_workload(name: str, machine: str, nranks: int, mnk: int,
+                 diagonal_shift: bool, reps: int) -> dict:
+    """Run one workload ``reps`` times; return its JSON record."""
+    spec = get_platform(machine)
+    options = SrummaOptions(
+        schedule=ScheduleOptions(diagonal_shift=diagonal_shift))
+    runs: list[float] = []
+    virtual_elapsed = None
+    engine_steps = None
+    engine_compactions = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = srumma_multiply(spec, nranks=nranks, m=mnk, n=mnk, k=mnk,
+                                 payload="synthetic", verify=False,
+                                 options=options)
+        runs.append(time.perf_counter() - t0)
+        # Virtual time must be identical across reps (determinism); record
+        # it so regressions in *simulated* output are visible in the JSON.
+        if virtual_elapsed is None:
+            virtual_elapsed = result.elapsed
+        elif result.elapsed != virtual_elapsed:
+            raise AssertionError(
+                f"{name}: virtual elapsed changed across identical runs "
+                f"({virtual_elapsed} vs {result.elapsed})")
+        engine = result.run.machine.engine
+        engine_steps = getattr(engine, "steps",
+                               getattr(engine, "_step_count", None))
+        engine_compactions = getattr(engine, "compactions", None)
+    return {
+        "machine": machine,
+        "nranks": nranks,
+        "mnk": mnk,
+        "schedule": "diag" if diagonal_shift else "nodiag",
+        "runs_s": [round(r, 6) for r in runs],
+        "median_s": round(statistics.median(runs), 6),
+        "virtual_elapsed_s": virtual_elapsed,
+        "engine_steps": engine_steps,
+        "engine_compactions": engine_compactions,
+    }
+
+
+def merge_baseline(records: dict, baseline_path: Path) -> None:
+    """Attach ``baseline_median_s``/``speedup`` from a previous run."""
+    baseline = json.loads(baseline_path.read_text())
+    base_workloads = baseline.get("workloads", {})
+    for name, rec in records.items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        rec["baseline_median_s"] = base["median_s"]
+        if rec["median_s"] > 0:
+            rec["speedup"] = round(base["median_s"] / rec["median_s"], 3)
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_wallclock.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="previous BENCH_wallclock.json to compute speedups against")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per workload (median reported)")
+    parser.add_argument("--only", type=str, default=None,
+                        help="regex: run only matching workload names")
+    args = parser.parse_args(argv)
+
+    selected = WORKLOADS
+    if args.only:
+        pat = re.compile(args.only)
+        selected = [w for w in WORKLOADS if pat.search(w[0])]
+        if not selected:
+            parser.error(f"--only {args.only!r} matched no workloads")
+
+    records: dict[str, dict] = {}
+    for name, machine, nranks, mnk, diag in selected:
+        print(f"[bench_wallclock] {name} ...", flush=True)
+        rec = run_workload(name, machine, nranks, mnk, diag, args.reps)
+        records[name] = rec
+        print(f"[bench_wallclock] {name}: median {rec['median_s']:.3f}s "
+              f"over {args.reps} reps", flush=True)
+
+    if args.baseline and args.baseline.exists():
+        merge_baseline(records, args.baseline)
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "reps": args.reps,
+        "workloads": records,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_wallclock] wrote {args.out}")
+    return payload
+
+
+# -- pytest wrapper (only under -m slow) -------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - harness runs standalone
+    pytest = None
+
+if pytest is not None:
+    @pytest.mark.slow
+    def test_wallclock_smoke(tmp_path):
+        """Reduced harness run: one small workload, JSON schema intact."""
+        out = tmp_path / "bench.json"
+        payload = main(["--only", "cray-x1-64", "--reps", "1",
+                        "--out", str(out)])
+        assert out.exists()
+        rec = payload["workloads"]["cray-x1-64"]
+        assert rec["median_s"] > 0
+        assert rec["virtual_elapsed_s"] > 0
+
+    @pytest.mark.slow
+    def test_wallclock_gate_vs_recorded():
+        """The committed BENCH_wallclock.json must show the >=3x gate on the
+        contended 256-rank workload (when a baseline is recorded in it)."""
+        if not DEFAULT_OUT.exists():
+            pytest.skip("no BENCH_wallclock.json recorded yet")
+        data = json.loads(DEFAULT_OUT.read_text())
+        rec = data["workloads"].get("myrinet-256-contended")
+        assert rec is not None
+        if "speedup" not in rec:
+            pytest.skip("no baseline merged into BENCH_wallclock.json")
+        assert rec["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    main()

@@ -66,8 +66,12 @@ def order_tasks(tasks: Sequence[BlockTask], machine: Machine, rank: int,
         out = out[start:] + out[:start]
 
     if options.local_first:
-        local = [t for t in out if task_is_domain_local(machine, rank, t)]
-        remote = [t for t in out if not task_is_domain_local(machine, rank, t)]
+        # Single-pass stable partition: the locality test walks the machine
+        # topology, so run it once per task, not twice.
+        local: list[BlockTask] = []
+        remote: list[BlockTask] = []
+        for t in out:
+            (local if task_is_domain_local(machine, rank, t) else remote).append(t)
         out = local + remote
 
     return out

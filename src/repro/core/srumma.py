@@ -33,10 +33,12 @@ from typing import Generator, Optional, Union
 
 import numpy as np
 
+from ..comm.armci import _section_segments
 from ..comm.base import RankContext, Request
 from ..distarray.distribution import Block2D
 from ..distarray.global_array import GlobalArray
 from ..machines.spec import MachineSpec
+from ..sim.cluster import Machine
 from .schedule import ScheduleOptions, order_tasks, task_is_domain_local
 from .tasks import BlockTask, build_tasks
 
@@ -113,33 +115,108 @@ class RankStats:
 
 
 class _Operand:
-    """How one task operand is obtained: view / get / copy."""
+    """How one task operand is obtained: view / get / copy.
 
-    __slots__ = ("mode", "owner", "index", "shape", "penalty")
+    ``elems`` and ``segments`` are precomputed at plan time so the
+    per-task acquisition loop does no shape arithmetic or distribution
+    lookups (``segments`` is the strided-descriptor count a synthetic
+    byte-level get charges for; ``None`` for view/copy operands).
+    """
 
-    def __init__(self, mode: str, owner: int, index, shape, penalty: bool):
+    __slots__ = ("mode", "owner", "index", "shape", "penalty", "elems",
+                 "segments")
+
+    def __init__(self, mode: str, owner: int, index, shape, penalty: bool,
+                 segments=None):
         self.mode = mode      # "view" | "get" | "copy"
         self.owner = owner
         self.index = index
         self.shape = shape
         self.penalty = penalty
+        self.elems = shape[0] * shape[1]
+        self.segments = segments
 
 
-def _plan_operand(ctx: RankContext, flavor: str, owner: int, index,
-                  shape) -> _Operand:
-    """Decide the access mode for one operand patch (paper §3 rules)."""
-    shmem = ctx.shmem
+def _operand_mode(machine: Machine, rank: int, flavor: str,
+                  owner: int) -> tuple[str, bool]:
+    """(access mode, kernel penalty) for one operand owner (paper §3 rules).
+
+    Depends on the caller only through its node/domain, so results are
+    memoized per owner when a rank plans its task list.
+    """
     if flavor == "cluster":
-        if ctx.same_domain(owner):
-            return _Operand("view", owner, index, shape, penalty=False)
-        return _Operand("get", owner, index, shape, penalty=False)
+        if machine.same_domain(rank, owner):
+            return "view", False
+        return "get", False
+    off_node = owner != rank and not machine.same_node(rank, owner)
     if flavor == "direct":
-        return _Operand("view", owner, index, shape,
-                        penalty=shmem.direct_access_penalty(owner))
+        return "view", off_node
     # copy flavour: only off-node patches need the explicit copy.
-    if shmem.direct_access_penalty(owner):
-        return _Operand("copy", owner, index, shape, penalty=False)
-    return _Operand("view", owner, index, shape, penalty=False)
+    return ("copy" if off_node else "view"), False
+
+
+# Run-level plan cache: ordered tasks + operand plans for one rank's C
+# block.  All inputs are hashable value objects; planning depends on the
+# caller only through its node index (same-domain/off-node tests), so
+# identical repeated multiplications — benchmark reps, iterative solvers
+# calling dgemm in a loop — skip task construction, ordering, and operand
+# classification entirely.  FIFO-bounded; entries are immutable tuples
+# shared by all readers.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_MAX = 1024
+
+
+def _build_plan(machine: Machine, rank: int, coords, dist_a, dist_b, dist_c,
+                transa: bool, transb: bool, flavor: str,
+                schedule: ScheduleOptions):
+    """Memoized (tasks, plans, local_tasks, needs_get) for one rank."""
+    spec = machine.spec
+    key = (dist_a, dist_b, dist_c, transa, transb, coords, schedule, flavor,
+           spec.shared_memory_scope, spec.cpus_per_node,
+           rank // spec.cpus_per_node)
+    try:
+        hit = _PLAN_CACHE.get(key)
+    except TypeError:  # unhashable distribution flavour: plan uncached
+        hit = None
+        key = None
+    if hit is not None:
+        return hit
+
+    tasks = build_tasks(dist_a, dist_b, dist_c, transa, transb, coords=coords)
+    if tasks:
+        tasks = order_tasks(tasks, machine, rank, coords, schedule)
+    tasks = tuple(tasks)
+    local_tasks = sum(
+        1 for t in tasks if task_is_domain_local(machine, rank, t))
+
+    mode_memo: dict[int, tuple[str, bool]] = {}
+
+    def plan(owner, index, shape, dist):
+        decision = mode_memo.get(owner)
+        if decision is None:
+            decision = mode_memo[owner] = _operand_mode(
+                machine, rank, flavor, owner)
+        mode, penalty = decision
+        segments = None
+        if mode == "get":
+            owner_shape = dist.block_shape(*dist.coords_of(owner))
+            segments = _section_segments(owner_shape, index)
+        return _Operand(mode, owner, index, shape, penalty,
+                        segments=segments)
+
+    plans = tuple(
+        (plan(t.a_owner, t.a_index, t.a_shape, dist_a),
+         plan(t.b_owner, t.b_index, t.b_shape, dist_b))
+        for t in tasks)
+    needs_get = tuple(
+        any(op.mode == "get" for op in pair) for pair in plans)
+
+    result = (tasks, plans, local_tasks, needs_get)
+    if key is not None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[key] = result
+    return result
 
 
 def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
@@ -165,13 +242,13 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     if dist_c.nranks > ctx.nranks:
         raise ValueError("C distribution needs more ranks than the machine has")
     coords = (dist_c.coords_of(ctx.rank) if ctx.rank < dist_c.nranks else None)
-    tasks = build_tasks(dist_a, dist_b, dist_c, transa, transb, coords=coords)
+    tasks, plans, local_tasks, needs_get = _build_plan(
+        ctx.machine, ctx.rank, coords, dist_a, dist_b, dist_c,
+        transa, transb, flavor, options.schedule)
     if not tasks:
         return stats
-    tasks = order_tasks(tasks, ctx.machine, ctx.rank, coords, options.schedule)
     stats.tasks = len(tasks)
-    stats.local_tasks = sum(
-        1 for t in tasks if task_is_domain_local(ctx.machine, ctx.rank, t))
+    stats.local_tasks = local_tasks
 
     c_local = c.local() if real else None
     r_lo, _ = dist_c.row_range(coords[0])
@@ -193,12 +270,6 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                                * ctx.machine.spec.cpu.peak_efficiency))
         if real:
             c_local *= beta
-
-    plans = [
-        (_plan_operand(ctx, flavor, t.a_owner, t.a_index, t.a_shape),
-         _plan_operand(ctx, flavor, t.b_owner, t.b_index, t.b_shape))
-        for t in tasks
-    ]
 
     # ----- acquisition helpers ------------------------------------------------
     # Fetched-patch reuse (paper §3.1 step 2: "the currently held A_ik
@@ -258,7 +329,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                     if not req.done.triggered:
                         reqs.append(req)
                     continue
-                nbytes = op.shape[0] * op.shape[1] * itemsize
+                nbytes = op.elems * itemsize
                 stats.remote_gets += 1
                 stats.bytes_fetched += nbytes
                 if real:
@@ -266,15 +337,12 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                     arrays[slot] = buf
                     req = ga.nb_get_owner_patch(op.owner, op.index, buf)
                 else:
-                    # Match the strided-descriptor cost the data-carrying
-                    # get pays for a sub-block section.
-                    from ..comm.armci import _section_segments
-                    dist = dist_a if slot == 0 else dist_b
-                    owner_shape = dist.block_shape(*dist.coords_of(op.owner))
-                    segs = _section_segments(owner_shape, op.index)
+                    # op.segments matches the strided-descriptor cost the
+                    # data-carrying get pays for a sub-block section
+                    # (precomputed at plan time).
                     buf = None
                     req = ctx.armci.nb_get_bytes(op.owner, nbytes,
-                                                 segments=segs)
+                                                 segments=op.segments)
                 reqs.append(req)
                 issued_requests.append(req)
                 _cache_store(key, (buf, req), nbytes)
@@ -294,7 +362,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                 if hit is not None:
                     arrays[slot] = hit[0]
                     continue
-                nbytes = op.shape[0] * op.shape[1] * itemsize
+                nbytes = op.elems * itemsize
                 stats.copies += 1
                 stats.bytes_fetched += nbytes
                 t_copy0 = ctx.now
@@ -329,7 +397,6 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
             yield from ctx.dgemm_flops(m, n, kk, remote_uncached=penalty)
 
     # ----- execution -------------------------------------------------------------
-    needs_get = [any(op.mode == "get" for op in pair) for pair in plans]
     if flavor == "cluster" and options.dynamic and any(needs_get):
         yield from _run_dynamic(ctx, tasks, needs_get, issue_gets, run_dgemm,
                                 options.pipeline_depth)

@@ -82,6 +82,16 @@ def _segments(lo: int, hi: int, breakpoints: list[int]) -> list[Range]:
     return [(pts[i], pts[i + 1]) for i in range(len(pts) - 1)]
 
 
+# Bounded memo for task-list construction.  The distribution dataclasses
+# are frozen/hashable, so (distributions, transposes, coords) is a complete
+# key; repeated multiplications over the same layout — benchmark reps,
+# iterative dgemm loops — skip the breakpoint/segment construction.  Only
+# successful builds are cached (invalid shapes re-raise every call), stored
+# as tuples and handed out as fresh lists so callers may reorder freely.
+_BUILD_CACHE: dict = {}
+_BUILD_CACHE_MAX = 4096
+
+
 def build_tasks(dist_a: Block2D, dist_b: Block2D, dist_c: Block2D,
                 transa: bool = False, transb: bool = False,
                 coords: Optional[tuple[int, int]] = None) -> list[BlockTask]:
@@ -89,6 +99,24 @@ def build_tasks(dist_a: Block2D, dist_b: Block2D, dist_c: Block2D,
 
     ``coords=None`` (a rank outside the C grid) yields an empty list.
     """
+    key = (dist_a, dist_b, dist_c, transa, transb, coords)
+    try:
+        hit = _BUILD_CACHE.get(key)
+    except TypeError:  # unhashable distribution flavour: build uncached
+        return _build_tasks_uncached(dist_a, dist_b, dist_c, transa, transb,
+                                     coords)
+    if hit is None:
+        hit = tuple(_build_tasks_uncached(dist_a, dist_b, dist_c, transa,
+                                          transb, coords))
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:
+            _BUILD_CACHE.pop(next(iter(_BUILD_CACHE)))
+        _BUILD_CACHE[key] = hit
+    return list(hit)
+
+
+def _build_tasks_uncached(dist_a: Block2D, dist_b: Block2D, dist_c: Block2D,
+                          transa: bool, transb: bool,
+                          coords: Optional[tuple[int, int]]) -> list[BlockTask]:
     da, db, dc = dist_a, dist_b, dist_c
 
     # Shape consistency: op(A) is m x k, op(B) is k x n, C is m x n.

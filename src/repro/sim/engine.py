@@ -344,6 +344,10 @@ class Engine:
         :mod:`repro.sim.trace`.
     """
 
+    #: Compaction is considered once the heap holds more dead entries than
+    #: this floor; below it the garbage is too small to be worth a rebuild.
+    COMPACT_FLOOR = 64
+
     def __init__(self, trace: Optional[Callable[[float, str, str], None]] = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, _ScheduledCall]] = []
@@ -352,6 +356,9 @@ class Engine:
         self._trace = trace
         self._crashed: list[Process] = []
         self._step_count = 0
+        self._live = 0          # non-cancelled entries currently in the heap
+        self._compactions = 0
+        self._running = False   # True while run() is executing callbacks
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, delay: float, fn: Callable[[], None]) -> _ScheduledCall:
@@ -360,7 +367,31 @@ class Engine:
         call = _ScheduledCall(fn)
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, call))
+        self._live += 1
         return call
+
+    def cancel(self, call: _ScheduledCall) -> None:
+        """Cancel a scheduled callback.
+
+        The heap entry is left in place as a tombstone and skipped on pop;
+        when tombstones outnumber live entries the heap is compacted in one
+        O(n) rebuild, so a cancel-heavy workload (the flow network
+        rescheduling completions) cannot grow the heap without bound.
+        """
+        if call.cancelled:
+            return
+        call.cancelled = True
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead > self.COMPACT_FLOOR and dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        # (time, seq) keys are unique, so heapify of the filtered list pops
+        # in exactly the same order as the original heap would have.
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._compactions += 1
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending event bound to this engine."""
@@ -402,6 +433,7 @@ class Engine:
         exceeding it raises :class:`SimulationError`.
         """
         self._collect_crashes = not raise_crashes
+        self._running = True
         try:
             while self._heap:
                 t, _seq, call = self._heap[0]
@@ -411,6 +443,11 @@ class Engine:
                 heapq.heappop(self._heap)
                 if call.cancelled:
                     continue
+                # Mark the entry dead *before* firing: it has left the heap,
+                # so a later cancel() of this call must be a no-op (it would
+                # otherwise corrupt the live-entry counter).
+                call.cancelled = True
+                self._live -= 1
                 if t < self.now - 1e-12:
                     raise SimulationError("event heap time went backwards")
                 self.now = t
@@ -422,6 +459,7 @@ class Engine:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
+            self._running = False
             self._collect_crashes = False
         return self.now
 
@@ -432,5 +470,18 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of live entries in the heap (cancelled entries excluded)."""
-        return sum(1 for _, _, c in self._heap if not c.cancelled)
+        """Number of live entries in the heap (cancelled entries excluded).
+
+        O(1): backed by a counter maintained at schedule/cancel/pop time.
+        """
+        return self._live
+
+    @property
+    def steps(self) -> int:
+        """Callbacks executed so far (profiling/test counter)."""
+        return self._step_count
+
+    @property
+    def compactions(self) -> int:
+        """Lazy heap compactions performed so far."""
+        return self._compactions

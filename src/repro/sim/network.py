@@ -3,8 +3,8 @@
 Transfers (flows) traverse a *path* of directed :class:`Link` resources —
 typically ``[source NIC egress, fabric, destination NIC ingress]``.  At any
 instant the rate of every active flow is the max-min fair allocation computed
-by progressive filling; when a flow starts or finishes, all rates are
-recomputed and in-flight completion events are rescheduled.
+by progressive filling; when a flow starts or finishes, affected rates are
+recomputed and the corresponding in-flight completion events rescheduled.
 
 This is the mechanism behind the paper's diagonal-shift experiment
 (§3.1, Fig. 4): when all processors of one node fetch from the same remote
@@ -16,11 +16,35 @@ The model is deliberately flow-level (no packets): transfer time for an
 uncontended flow over a path with bottleneck bandwidth ``B`` and latency
 ``L`` is exactly ``L + nbytes / B``, matching the ``t_s + n * t_w`` cost model
 of §2.1.
+
+Allocator scaling
+-----------------
+Recomputing the global allocation on every flow arrival/departure is
+quadratic-ish in active flows and floods the engine heap with cancelled
+completion entries.  The default ``incremental`` allocator instead:
+
+- restricts each recomputation to the *connected component* of links
+  actually touched by the arriving/departing flow (two flows interact only
+  if a chain of shared links connects them, so rates outside the component
+  provably cannot change);
+- skips reallocation entirely when it cannot change any rate (a flow
+  joining or leaving an otherwise-empty set of links);
+- coalesces all membership changes of one simulated instant into a single
+  reallocation pass (a zero-delay flush event);
+- settles and reschedules a flow only when its allocated rate actually
+  changed, so an undisturbed flow's completion entry stays valid.
+
+``allocator="reference"`` keeps the original full-recompute behaviour
+(every pass covers every active flow) under the same settle/reschedule
+discipline; the property test in
+``tests/sim/test_network_equivalence.py`` cross-checks the two on
+randomized workloads bit-for-bit.  The invariants that make the scoped
+recomputation exact are written up in ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from .engine import Engine, Event, SimulationError, _ScheduledCall
 
@@ -68,7 +92,7 @@ class Flow:
 
     __slots__ = (
         "size", "remaining", "path", "rate", "done", "started_at",
-        "_sched", "_last_update", "label",
+        "_sched", "_last_update", "_seq", "label",
     )
 
     def __init__(self, size: float, path: Sequence[Link], done: Event, label: str = ""):
@@ -80,6 +104,7 @@ class Flow:
         self.started_at: float = 0.0
         self._sched: Optional[_ScheduledCall] = None
         self._last_update: float = 0.0
+        self._seq = 0  # global start order; keys deterministic scope ordering
         self.label = label
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -90,11 +115,22 @@ class Flow:
 class FlowNetwork:
     """Tracks active flows and keeps their rates max-min fair."""
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, allocator: str = "incremental"):
+        if allocator not in ("incremental", "reference"):
+            raise ValueError(f"unknown allocator {allocator!r}")
         self.engine = engine
+        self.allocator = allocator
         # Insertion-ordered registry of active flows (see Link.flows).
         self._flows: dict[Flow, None] = {}
         self.completed_flows = 0
+        self._flow_seq = 0
+        # Links whose membership changed since the last reallocation pass,
+        # awaiting the same-instant flush.
+        self._dirty: dict[Link, None] = {}
+        self._flush_pending = False
+        # Profiling counters (see docs/performance.md).
+        self.reallocations = 0
+        self.realloc_flow_touches = 0
 
     # -- public API -------------------------------------------------------
     def transfer(self, nbytes: float, path: Sequence[Link], latency: float = 0.0,
@@ -128,64 +164,140 @@ class FlowNetwork:
 
     # -- internals ----------------------------------------------------------
     def _start_flow(self, flow: Flow) -> None:
-        flow.started_at = self.engine.now
-        flow._last_update = self.engine.now
+        now = self.engine.now
+        flow.started_at = now
+        flow._last_update = now
+        flow._seq = self._flow_seq
+        self._flow_seq += 1
         self._flows[flow] = None
+        if (self.allocator == "incremental"
+                and not any(link.flows for link in flow.path)):
+            # Disjoint uncontended join: no existing flow shares any link
+            # with this one, so no existing rate can change, and this
+            # flow's max-min rate is exactly its path's bottleneck
+            # bandwidth (the singleton fair share bw/1 == bw).  Skip the
+            # reallocation pass entirely.
+            for link in flow.path:
+                link.flows[flow] = None
+            flow.rate = min(link.bandwidth for link in flow.path)
+            flow._sched = self.engine._schedule(
+                flow.remaining / flow.rate, lambda: self._finish_flow(flow))
+            return
         for link in flow.path:
             link.flows[flow] = None
-        self._reallocate()
+        self._mark_dirty(flow.path)
 
     def _finish_flow(self, flow: Flow) -> None:
         if flow not in self._flows:
             return
-        self._settle()
+        self._settle_flow(flow)
         # Tolerate small residue from float arithmetic.
         if flow.remaining > _flow_eps(flow):
             raise SimulationError(
                 f"flow {flow.label!r} finished with {flow.remaining} bytes left")
         self._remove(flow)
         flow.done.succeed(flow.size)
-        self._reallocate()
+        if (self.allocator == "reference"
+                or any(link.flows for link in flow.path)):
+            # Departure frees capacity for whoever shared these links; a
+            # flow that was alone on its whole path affects nobody.
+            self._mark_dirty(flow.path)
 
     def _remove(self, flow: Flow) -> None:
         self._flows.pop(flow, None)
         for link in flow.path:
             link.flows.pop(flow, None)
         if flow._sched is not None:
-            flow._sched.cancelled = True
+            self.engine.cancel(flow._sched)
             flow._sched = None
         self.completed_flows += 1
 
-    def _settle(self) -> None:
-        """Advance every flow's remaining-bytes to the current instant."""
-        now = self.engine.now
-        for flow in self._flows:
-            dt = now - flow._last_update
-            if dt > 0:
-                moved = flow.rate * dt
-                flow.remaining -= moved
+    def _settle_flow(self, flow: Flow) -> None:
+        """Advance one flow's remaining-bytes to the current instant."""
+        dt = self.engine.now - flow._last_update
+        if dt > 0:
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            for link in flow.path:
+                link._bytes_carried += moved
+            flow._last_update = self.engine.now
+        if flow.remaining < 0:
+            flow.remaining = 0.0
+
+    # -- reallocation -------------------------------------------------------
+    def _mark_dirty(self, links: Sequence[Link]) -> None:
+        for link in links:
+            self._dirty[link] = None
+        if not self._flush_pending:
+            self._flush_pending = True
+            if self.engine._running:
+                # Coalesce: every membership change of this instant lands in
+                # one pass when the zero-delay flush fires.
+                self.engine._schedule(0.0, self._flush)
+            else:
+                # Called outside the event loop (setup code, tests): keep
+                # the old synchronous semantics so rates are immediately
+                # observable.
+                self._flush()
+
+    def _flush(self) -> None:
+        self._flush_pending = False
+        dirty, self._dirty = self._dirty, {}
+        while dirty:
+            scope = self._scope_flows(dirty)
+            drained = self._allocate(scope) if scope else ()
+            # A flow that settled to zero during the pass was removed
+            # mid-allocation; its departure frees capacity, so re-run on
+            # the links it vacated (same instant, usually empty).
+            dirty = {}
+            for flow in drained:
                 for link in flow.path:
-                    link._bytes_carried += moved
-                flow._last_update = now
-            if flow.remaining < 0:
-                flow.remaining = 0.0
+                    if link.flows:
+                        dirty[link] = None
 
-    def _reallocate(self) -> None:
-        """Progressive-filling max-min fair rates, then reschedule finishes."""
-        self._settle()
+    def _scope_flows(self, dirty: dict[Link, None]) -> list[Flow]:
+        """Flows whose rates the pending membership changes could affect.
 
-        # Drain any flows that settled to zero before computing new shares.
-        drained = [f for f in self._flows if f.remaining <= _flow_eps(f)]
-        for f in drained:
-            self._remove(f)
-            f.done.succeed(f.size)
+        Reference allocator: every active flow.  Incremental: the connected
+        component(s) of the dirty links under the "shares a link with"
+        relation, in global start order (``_seq``) so the progressive
+        filling visits flows and links in exactly the order the reference
+        allocator would, restricted to the component.
+        """
+        if self.allocator == "reference":
+            return list(self._flows)
+        seen_links = set(dirty)
+        stack = list(dirty)
+        found: dict[Flow, None] = {}
+        while stack:
+            link = stack.pop()
+            for flow in link.flows:
+                if flow not in found:
+                    found[flow] = None
+                    for other in flow.path:
+                        if other not in seen_links:
+                            seen_links.add(other)
+                            stack.append(other)
+        return sorted(found, key=lambda f: f._seq)
 
-        unfrozen: dict[Flow, None] = dict(self._flows)
-        residual = {link: link.bandwidth
-                    for f in unfrozen for link in f.path}
+    def _allocate(self, scope: list[Flow]) -> list[Flow]:
+        """Progressive-filling max-min fair rates over ``scope``.
+
+        Settles and reschedules only flows whose allocation changed; an
+        undisturbed flow's completion entry stays valid, so the engine heap
+        is not flooded with cancellations.  Returns flows that settled to
+        zero and completed during the pass.
+        """
+        self.reallocations += 1
+        self.realloc_flow_touches += len(scope)
+
+        unfrozen: dict[Flow, None] = dict.fromkeys(scope)
+        residual: dict[Link, float] = {}
         link_unfrozen: dict[Link, dict[Flow, None]] = {}
         for f in unfrozen:
             for link in f.path:
+                if link not in residual:
+                    residual[link] = link.bandwidth
                 link_unfrozen.setdefault(link, {})[f] = None
 
         rates: dict[Flow, float] = {}
@@ -214,13 +326,30 @@ class FlowNetwork:
             residual[bottleneck] = 0.0
             link_unfrozen[bottleneck].clear()
 
-        for flow in self._flows:
-            flow.rate = rates.get(flow, 0.0)
-            if flow._sched is not None:
-                flow._sched.cancelled = True
-                flow._sched = None
-            if flow.rate <= 0:
+        engine = self.engine
+        drained: list[Flow] = []
+        for flow in scope:
+            rate = rates.get(flow, 0.0)
+            if rate <= 0:
                 raise SimulationError(
                     f"flow {flow.label!r} allocated zero rate — disconnected path?")
+            if rate == flow.rate and flow._sched is not None:
+                # Allocation unchanged: the scheduled completion is still
+                # exact, and skipping the settle keeps remaining-bytes
+                # arithmetic identical between allocators.
+                continue
+            self._settle_flow(flow)
+            flow.rate = rate
+            if flow._sched is not None:
+                engine.cancel(flow._sched)
+                flow._sched = None
+            if flow.remaining <= _flow_eps(flow):
+                # Settled to zero at this very instant (its completion was
+                # due now): complete it here rather than re-scheduling.
+                self._remove(flow)
+                flow.done.succeed(flow.size)
+                drained.append(flow)
+                continue
             eta = flow.remaining / flow.rate
-            flow._sched = self.engine._schedule(eta, lambda f=flow: self._finish_flow(f))
+            flow._sched = engine._schedule(eta, lambda f=flow: self._finish_flow(f))
+        return drained

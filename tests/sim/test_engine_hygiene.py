@@ -1,0 +1,101 @@
+"""Heap hygiene: lazy compaction, O(1) pending_events, engine counters."""
+
+from repro.sim import Engine
+from repro.sim.engine import Timeout
+
+
+def _noop():
+    return None
+
+
+def test_cancel_is_idempotent_and_counts_once():
+    eng = Engine()
+    call = eng._schedule(1.0, _noop)
+    assert eng.pending_events == 1
+    eng.cancel(call)
+    eng.cancel(call)  # double-cancel must not double-decrement
+    assert eng.pending_events == 0
+
+
+def test_cancel_after_fire_is_noop():
+    """Cancelling a callback that already ran must not corrupt the live
+    counter (the flow network cancels completion entries it may already
+    have consumed)."""
+    eng = Engine()
+    call = eng._schedule(1.0, _noop)
+    eng._schedule(2.0, _noop)
+    eng.run(until=1.5)
+    assert eng.pending_events == 1
+    eng.cancel(call)  # fired at t=1.0; cancelling now is a no-op
+    assert eng.pending_events == 1
+    eng.run()
+    assert eng.pending_events == 0
+
+
+def test_compaction_triggers_when_dead_outnumber_live():
+    eng = Engine()
+    keep = [eng._schedule(10.0 + i, _noop) for i in range(4)]
+    doomed = [eng._schedule(1.0 + 0.001 * i, _noop) for i in range(200)]
+    assert eng.compactions == 0
+    heap_before = len(eng._heap)
+    for call in doomed:
+        eng.cancel(call)
+    # Tombstones exceeded both the floor and the live count → compacted.
+    assert eng.compactions >= 1
+    assert len(eng._heap) < heap_before
+    assert eng.pending_events == len(keep)
+    # The survivors still fire, in order, at their scheduled times.
+    eng.run()
+    assert eng.now == 13.0
+    assert eng.pending_events == 0
+
+
+def test_no_compaction_below_floor():
+    eng = Engine()
+    calls = [eng._schedule(1.0 + i, _noop) for i in range(Engine.COMPACT_FLOOR)]
+    for call in calls:
+        eng.cancel(call)
+    assert eng.compactions == 0  # dead == floor, not above it
+
+
+def test_compaction_preserves_event_order():
+    """Compacted heap pops in exactly the original (time, seq) order."""
+    eng = Engine()
+    fired = []
+    live = []
+    dead = []
+    for i in range(300):
+        delay = 1.0 + (i % 7) + 0.0001 * i
+        call = eng._schedule(delay, lambda i=i: fired.append(i))
+        (dead if i % 3 else live).append((delay, i, call))
+    expected = [i for (delay, i, _) in sorted(live)]
+    for _, _, call in dead:
+        eng.cancel(call)
+    assert eng.compactions >= 1
+    eng.run()
+    assert fired == expected
+
+
+def test_pending_events_tracks_schedule_run_cancel():
+    eng = Engine()
+    assert eng.pending_events == 0
+
+    def proc():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    eng.spawn(proc())
+    assert eng.pending_events == 1  # the spawn bootstrap entry
+    eng.run()
+    assert eng.pending_events == 0
+    assert eng.steps > 0
+
+
+def test_counters_exposed_and_monotonic():
+    eng = Engine()
+    s0, c0 = eng.steps, eng.compactions
+    assert (s0, c0) == (0, 0)
+    eng._schedule(0.5, _noop)
+    eng.run()
+    assert eng.steps == 1
+    assert eng.compactions == c0
