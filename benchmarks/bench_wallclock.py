@@ -11,10 +11,22 @@ paper machine models, plus the 256-rank *contended* workload (diagonal
 shift disabled so many concurrent flows pile onto shared NIC links) that
 stresses the fairness reallocator hardest.
 
+On top of the single-simulation workloads there is a *sweep-level*
+benchmark: a multi-point figure-style sweep executed serially
+(``jobs=1``) and through the parallel point executor
+(``repro.bench.parallel.run_points`` at ``--jobs`` workers, default all
+CPU cores).  It records both medians plus ``parallel_speedup``, and
+asserts the two executions produce field-identical points — a
+determinism regression in the executor fails the benchmark itself.
+
 Each workload runs ``--reps`` times (default 3) and reports the median.
 Results land in ``BENCH_wallclock.json`` at the repo root so successive
 PRs accumulate a perf trajectory; pass ``--baseline FILE`` to merge a
-previous run's medians in and compute speedups.
+previous run in.  Baselines *carry forward*: ``baseline_median_s`` (and
+the ``speedup`` computed from it) always refers to the oldest recorded
+baseline — the pre-optimisation seed — while ``prev_median_s`` tracks
+the immediately previous run, so the JSON shows both the cumulative
+trajectory and the per-PR delta.
 
 Usage::
 
@@ -22,6 +34,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
         --baseline BENCH_wallclock.json --out BENCH_wallclock.json
     PYTHONPATH=src python benchmarks/bench_wallclock.py --only contended
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --only sweep --jobs 4
 
 The pytest wrapper at the bottom is marked ``slow`` and only runs under
 ``-m slow``; see docs/performance.md.
@@ -30,7 +43,9 @@ The pytest wrapper at the bottom is marked ``slow`` and only runs under
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import platform
 import re
 import statistics
@@ -42,13 +57,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.parallel import PointSpec, resolve_jobs, run_points  # noqa: E402
 from repro.core.api import srumma_multiply  # noqa: E402
 from repro.core.schedule import ScheduleOptions  # noqa: E402
 from repro.core.srumma import SrummaOptions  # noqa: E402
 from repro.machines.platforms import get_platform  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # (name, machine, nranks, mnk, diagonal_shift).  The contended workload is
 # the acceptance gate: every CPU of a node fetches from the same remote
@@ -68,6 +84,15 @@ WORKLOADS: list[tuple[str, str, int, int, bool]] = [
     ("altix-64", "sgi-altix", 64, 2048, True),
     ("altix-128", "sgi-altix", 128, 2048, True),
     ("altix-256", "sgi-altix", 256, 2048, True),
+]
+
+# Sweep-level workloads: (name, machine, nranks, sizes, algorithms).  Each
+# is a figure-style cross product of independent points, executed serially
+# and through the parallel executor; the speedup between the two is what
+# ``repro sweep/reproduce --jobs N`` buys on this host.
+SWEEP_WORKLOADS: list[tuple[str, str, int, tuple[int, ...], tuple[str, ...]]] = [
+    ("sweep-myrinet-12pt", "linux-myrinet", 64,
+     (512, 1024, 1536, 2048), ("srumma", "pdgemm", "summa")),
 ]
 
 
@@ -112,17 +137,92 @@ def run_workload(name: str, machine: str, nranks: int, mnk: int,
     }
 
 
+def run_sweep_workload(name: str, machine: str, nranks: int,
+                       sizes: tuple[int, ...], algorithms: tuple[str, ...],
+                       jobs: int, reps: int) -> dict:
+    """Time one multi-point sweep serially and through the point executor.
+
+    The parallel pass must reproduce the serial pass field-for-field —
+    the executor's determinism invariant — or the benchmark aborts.
+    """
+    spec = get_platform(machine)
+    specs = [PointSpec(alg, spec, nranks, size)
+             for size in sizes for alg in algorithms]
+
+    def one_pass(npjobs: int) -> tuple[float, list]:
+        t0 = time.perf_counter()
+        pts = run_points(specs, jobs=npjobs)
+        return time.perf_counter() - t0, pts
+
+    serial_runs: list[float] = []
+    parallel_runs: list[float] = []
+    reference = None
+    for _ in range(reps):
+        dt, pts = one_pass(1)
+        serial_runs.append(dt)
+        fields = [dataclasses.asdict(p) for p in pts]
+        if reference is None:
+            reference = fields
+        elif fields != reference:
+            raise AssertionError(f"{name}: serial results changed across reps")
+    for _ in range(reps):
+        dt, pts = one_pass(jobs)
+        parallel_runs.append(dt)
+        if [dataclasses.asdict(p) for p in pts] != reference:
+            raise AssertionError(
+                f"{name}: parallel (jobs={jobs}) results diverged from serial")
+    serial_median = statistics.median(serial_runs)
+    parallel_median = statistics.median(parallel_runs)
+    return {
+        "kind": "sweep",
+        "machine": machine,
+        "nranks": nranks,
+        "sizes": list(sizes),
+        "algorithms": list(algorithms),
+        "points": len(specs),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_runs_s": [round(r, 6) for r in serial_runs],
+        "serial_median_s": round(serial_median, 6),
+        "parallel_runs_s": [round(r, 6) for r in parallel_runs],
+        "parallel_median_s": round(parallel_median, 6),
+        "parallel_speedup": (round(serial_median / parallel_median, 3)
+                             if parallel_median > 0 else None),
+    }
+
+
 def merge_baseline(records: dict, baseline_path: Path) -> None:
-    """Attach ``baseline_median_s``/``speedup`` from a previous run."""
+    """Attach baseline medians and speedups from a previous run.
+
+    ``baseline_median_s`` carries forward the *oldest* recorded baseline
+    (the pre-optimisation seed), so ``speedup`` is the cumulative
+    trajectory; ``prev_median_s`` is the immediately previous run's median
+    (the per-PR delta).  Sweep records merge their serial median the same
+    way.
+    """
     baseline = json.loads(baseline_path.read_text())
     base_workloads = baseline.get("workloads", {})
     for name, rec in records.items():
         base = base_workloads.get(name)
         if base is None:
             continue
-        rec["baseline_median_s"] = base["median_s"]
+        if rec.get("kind") == "sweep":
+            prev = base.get("serial_median_s")
+            if prev:
+                rec["prev_serial_median_s"] = prev
+                rec["baseline_serial_median_s"] = base.get(
+                    "baseline_serial_median_s", prev)
+                if rec["serial_median_s"] > 0:
+                    rec["serial_speedup"] = round(
+                        rec["baseline_serial_median_s"]
+                        / rec["serial_median_s"], 3)
+            continue
+        rec["prev_median_s"] = base["median_s"]
+        rec["baseline_median_s"] = base.get("baseline_median_s",
+                                            base["median_s"])
         if rec["median_s"] > 0:
-            rec["speedup"] = round(base["median_s"] / rec["median_s"], 3)
+            rec["speedup"] = round(
+                rec["baseline_median_s"] / rec["median_s"], 3)
 
 
 def main(argv=None) -> dict:
@@ -135,15 +235,21 @@ def main(argv=None) -> dict:
                         help="repetitions per workload (median reported)")
     parser.add_argument("--only", type=str, default=None,
                         help="regex: run only matching workload names")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep-level benchmark "
+                             "(default: all CPU cores)")
     args = parser.parse_args(argv)
 
     selected = WORKLOADS
+    selected_sweeps = SWEEP_WORKLOADS
     if args.only:
         pat = re.compile(args.only)
         selected = [w for w in WORKLOADS if pat.search(w[0])]
-        if not selected:
+        selected_sweeps = [w for w in SWEEP_WORKLOADS if pat.search(w[0])]
+        if not selected and not selected_sweeps:
             parser.error(f"--only {args.only!r} matched no workloads")
 
+    jobs = resolve_jobs(args.jobs)
     records: dict[str, dict] = {}
     for name, machine, nranks, mnk, diag in selected:
         print(f"[bench_wallclock] {name} ...", flush=True)
@@ -152,6 +258,15 @@ def main(argv=None) -> dict:
         print(f"[bench_wallclock] {name}: median {rec['median_s']:.3f}s "
               f"over {args.reps} reps", flush=True)
 
+    for name, machine, nranks, sizes, algorithms in selected_sweeps:
+        print(f"[bench_wallclock] {name} (jobs={jobs}) ...", flush=True)
+        rec = run_sweep_workload(name, machine, nranks, sizes, algorithms,
+                                 jobs, args.reps)
+        records[name] = rec
+        print(f"[bench_wallclock] {name}: serial {rec['serial_median_s']:.3f}s, "
+              f"jobs={jobs} {rec['parallel_median_s']:.3f}s "
+              f"({rec['parallel_speedup']}x)", flush=True)
+
     if args.baseline and args.baseline.exists():
         merge_baseline(records, args.baseline)
 
@@ -159,6 +274,7 @@ def main(argv=None) -> dict:
         "schema": SCHEMA_VERSION,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "reps": args.reps,
         "workloads": records,
     }
@@ -197,6 +313,39 @@ if pytest is not None:
         if "speedup" not in rec:
             pytest.skip("no baseline merged into BENCH_wallclock.json")
         assert rec["speedup"] >= 3.0
+
+    @pytest.mark.slow
+    def test_wallclock_sweep_smoke(tmp_path):
+        """Sweep-level benchmark runs and its determinism gate holds."""
+        out = tmp_path / "bench.json"
+        payload = main(["--only", "sweep-myrinet-12pt", "--reps", "1",
+                        "--jobs", "2", "--out", str(out)])
+        rec = payload["workloads"]["sweep-myrinet-12pt"]
+        assert rec["kind"] == "sweep"
+        assert rec["points"] == 12
+        assert rec["serial_median_s"] > 0
+        assert rec["parallel_median_s"] > 0
+
+    @pytest.mark.slow
+    def test_wallclock_parallel_sweep_gate_vs_recorded():
+        """The committed sweep-level record must show >=3x parallel speedup —
+        but only when it was recorded on a host with enough real cores for
+        the pool to matter (a single-core container cannot speed anything
+        up, however correct the executor)."""
+        if not DEFAULT_OUT.exists():
+            pytest.skip("no BENCH_wallclock.json recorded yet")
+        data = json.loads(DEFAULT_OUT.read_text())
+        recs = {n: r for n, r in data["workloads"].items()
+                if r.get("kind") == "sweep"}
+        assert recs, "no sweep-level benchmark recorded"
+        for name, rec in recs.items():
+            if rec.get("cpu_count") is None or rec["cpu_count"] < 4:
+                pytest.skip(
+                    f"{name} recorded on a {rec.get('cpu_count')}-core host; "
+                    "the >=3x parallel gate needs >=4 real cores")
+            if rec.get("jobs", 1) < 4:
+                pytest.skip(f"{name} recorded with jobs={rec.get('jobs')}")
+            assert rec["parallel_speedup"] >= 3.0
 
 
 if __name__ == "__main__":

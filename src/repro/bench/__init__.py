@@ -8,6 +8,7 @@ from .microbench import (
     measure_overlap,
     overlap_sweep,
 )
+from .parallel import PointExecutionError, PointSpec, resolve_jobs, run_points
 from .report import fmt_bytes, format_table, paper_vs_measured, print_table, to_csv
 from .runner import ALGORITHMS, MatmulPoint, default_nb, run_matmul, sweep
 
@@ -16,4 +17,5 @@ __all__ = [
     "measure_overlap", "overlap_sweep",
     "fmt_bytes", "format_table", "paper_vs_measured", "print_table", "to_csv",
     "ALGORITHMS", "MatmulPoint", "default_nb", "run_matmul", "sweep",
+    "PointExecutionError", "PointSpec", "resolve_jobs", "run_points",
 ]

@@ -5,38 +5,51 @@ series at *quick* scale (reduced sweeps, minutes -> seconds); the benchmark
 suite under ``benchmarks/`` remains the full-scale, shape-asserting source
 of record.  Each entry returns ``(title, headers, rows)`` ready for
 :func:`repro.bench.report.format_table`.
+
+Every matmul-based driver builds its full list of independent simulation
+points first and executes it through
+:func:`repro.bench.parallel.run_points`, so ``--jobs N`` fans the points
+across worker processes.  Results are merged back in submission order and
+each point's simulation is seeded and self-contained, so the emitted rows
+are identical for any ``jobs`` value (the microbenchmark figures 6–8 run
+in-process; their sweeps are too cheap to be worth a pool).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..core.srumma import SrummaOptions
 from ..machines import CRAY_X1, IBM_SP, LINUX_MYRINET, SGI_ALTIX
 from .microbench import bandwidth_sweep, measure_overlap
+from .parallel import PointSpec, run_points
 from .report import fmt_bytes
-from .runner import run_matmul
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
 Result = tuple[str, list[str], list[list]]
 
 
-def _fig5(full: bool) -> Result:
+def _fig5(full: bool, jobs: Optional[int] = 1) -> Result:
+    cases = [(spec, transa)
+             for spec in (CRAY_X1, SGI_ALTIX)
+             for transa in ((False, True) if full else (False,))]
+    points = run_points(
+        [PointSpec("srumma", spec, 16, 2000, transa=transa,
+                   options=SrummaOptions(flavor=flavor))
+         for spec, transa in cases for flavor in ("direct", "copy")],
+        jobs=jobs)
     rows = []
-    for spec in (CRAY_X1, SGI_ALTIX):
-        for transa in ((False, True) if full else (False,)):
-            case = "C=A^T B" if transa else "C=AB"
-            d = run_matmul("srumma", spec, 16, 2000, transa=transa,
-                           options=SrummaOptions(flavor="direct")).gflops
-            c = run_matmul("srumma", spec, 16, 2000, transa=transa,
-                           options=SrummaOptions(flavor="copy")).gflops
-            rows.append([spec.name, case, d, c, d / c])
+    for i, (spec, transa) in enumerate(cases):
+        case = "C=A^T B" if transa else "C=AB"
+        d = points[2 * i].gflops
+        c = points[2 * i + 1].gflops
+        rows.append([spec.name, case, d, c, d / c])
     return ("Fig. 5 — direct vs copy flavour, N=2000, 16 CPUs",
             ["platform", "case", "direct GF/s", "copy GF/s", "ratio"], rows)
 
 
-def _fig6(full: bool) -> Result:
+def _fig6(full: bool, jobs: Optional[int] = 1) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     shm = dict(bandwidth_sweep(CRAY_X1, "shmem", sizes))
     mpi = dict(bandwidth_sweep(CRAY_X1, "mpi", sizes))
@@ -45,7 +58,7 @@ def _fig6(full: bool) -> Result:
             ["msg size", "shmem MB/s", "MPI MB/s"], rows)
 
 
-def _fig7(full: bool) -> Result:
+def _fig7(full: bool, jobs: Optional[int] = 1) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     specs = (IBM_SP, LINUX_MYRINET) if full else (LINUX_MYRINET,)
     rows = []
@@ -60,7 +73,7 @@ def _fig7(full: bool) -> Result:
     return ("Fig. 7 — communication/computation overlap", headers, rows)
 
 
-def _fig8(full: bool) -> Result:
+def _fig8(full: bool, jobs: Optional[int] = 1) -> Result:
     sizes = tuple(1 << s for s in range(8, 23, 1 if full else 2))
     sp_get = dict(bandwidth_sweep(IBM_SP, "armci_get", sizes))
     sp_mpi = dict(bandwidth_sweep(IBM_SP, "mpi", sizes))
@@ -72,40 +85,43 @@ def _fig8(full: bool) -> Result:
             ["msg size", "SP get", "SP mpi", "myri get", "myri mpi"], rows)
 
 
-def _fig9(full: bool) -> Result:
+def _fig9(full: bool, jobs: Optional[int] = 1) -> Result:
     sizes = (600, 1000, 2000, 4000) if full else (1000, 2000)
-    rows = []
+    specs = []
     for n in sizes:
-        row = [n]
         for zc in (True, False):
             spec = (LINUX_MYRINET if zc
                     else LINUX_MYRINET.with_network(zero_copy=False))
             for nonblocking in (True, False):
                 opts = SrummaOptions(flavor="cluster", nonblocking=nonblocking)
-                row.append(run_matmul("srumma", spec, 16, n,
-                                      options=opts).gflops)
-        rows.append(row)
+                specs.append(PointSpec("srumma", spec, 16, n, options=opts))
+    points = run_points(specs, jobs=jobs)
+    rows = [[n] + [p.gflops for p in points[4 * i:4 * i + 4]]
+            for i, n in enumerate(sizes)]
     return ("Fig. 9 — zero-copy/nonblocking impact (GFLOP/s, 16 CPUs)",
             ["N", "zc+nb", "zc+blk", "nozc+nb", "nozc+blk"], rows)
 
 
-def _fig10(full: bool) -> Result:
+def _fig10(full: bool, jobs: Optional[int] = 1) -> Result:
     sizes = (600, 1000, 2000, 4000, 8000, 12000) if full else (600, 2000)
     platforms = ([(LINUX_MYRINET, 128), (IBM_SP, 256),
                   (CRAY_X1, 128), (SGI_ALTIX, 128)] if full
                  else [(LINUX_MYRINET, 64), (SGI_ALTIX, 64)])
+    cases = [(spec, nranks, n) for spec, nranks in platforms for n in sizes]
+    points = run_points(
+        [PointSpec(alg, spec, nranks, n)
+         for spec, nranks, n in cases for alg in ("srumma", "pdgemm")],
+        jobs=jobs)
     rows = []
-    for spec, nranks in platforms:
-        for n in sizes:
-            s = run_matmul("srumma", spec, nranks, n).gflops
-            p = run_matmul("pdgemm", spec, nranks, n).gflops
-            rows.append([spec.name, nranks, n, s, p, s / p])
+    for i, (spec, nranks, n) in enumerate(cases):
+        s, p = points[2 * i].gflops, points[2 * i + 1].gflops
+        rows.append([spec.name, nranks, n, s, p, s / p])
     return ("Fig. 10 — SRUMMA vs pdgemm",
             ["platform", "CPUs", "N", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
             rows)
 
 
-def _table1(full: bool) -> Result:
+def _table1(full: bool, jobs: Optional[int] = 1) -> Result:
     cases = [
         (4000, 4000, 4000, 128, False, False, SGI_ALTIX),
         (2000, 2000, 2000, 128, False, False, CRAY_X1),
@@ -120,12 +136,14 @@ def _table1(full: bool) -> Result:
             (4000, 4000, 4000, 128, True, True, SGI_ALTIX),
             (4000, 4000, 1000, 128, False, False, LINUX_MYRINET),
         ]
+    points = run_points(
+        [PointSpec(alg, spec, cpus, m, n, k, transa=ta, transb=tb)
+         for m, n, k, cpus, ta, tb, spec in cases
+         for alg in ("srumma", "pdgemm")],
+        jobs=jobs)
     rows = []
-    for m, n, k, cpus, ta, tb, spec in cases:
-        s = run_matmul("srumma", spec, cpus, m, n, k,
-                       transa=ta, transb=tb).gflops
-        p = run_matmul("pdgemm", spec, cpus, m, n, k,
-                       transa=ta, transb=tb).gflops
+    for i, (m, n, k, cpus, ta, tb, spec) in enumerate(cases):
+        s, p = points[2 * i].gflops, points[2 * i + 1].gflops
         case = f"C=A{'^T' if ta else ''} B{'^T' if tb else ''}"
         rows.append([f"{m}x{n}x{k}", cpus, case, spec.name, s, p, s / p])
     return ("Table 1 — best cases (GFLOP/s)",
@@ -133,27 +151,30 @@ def _table1(full: bool) -> Result:
             rows)
 
 
-def _diag_shift(full: bool) -> Result:
+def _diag_shift(full: bool, jobs: Optional[int] = 1) -> Result:
     from ..core.schedule import ScheduleOptions
 
     sizes = (1000, 2000, 4000) if full else (1000, 2000)
+    cases = [(spec, nranks, n)
+             for spec, nranks in ((IBM_SP, 64), (LINUX_MYRINET, 16))
+             for n in sizes]
+    points = run_points(
+        [PointSpec("srumma", spec, nranks, n,
+                   options=SrummaOptions(
+                       flavor="cluster",
+                       schedule=ScheduleOptions(diagonal_shift=shift)))
+         for spec, nranks, n in cases for shift in (True, False)],
+        jobs=jobs)
     rows = []
-    for spec, nranks in ((IBM_SP, 64), (LINUX_MYRINET, 16)):
-        for n in sizes:
-            on = run_matmul("srumma", spec, nranks, n,
-                            options=SrummaOptions(flavor="cluster")).gflops
-            off = run_matmul(
-                "srumma", spec, nranks, n,
-                options=SrummaOptions(
-                    flavor="cluster",
-                    schedule=ScheduleOptions(diagonal_shift=False))).gflops
-            rows.append([spec.name, nranks, n, on, off, on / off])
+    for i, (spec, nranks, n) in enumerate(cases):
+        on, off = points[2 * i].gflops, points[2 * i + 1].gflops
+        rows.append([spec.name, nranks, n, on, off, on / off])
     return ("§3.1 ablation — diagonal shift (GFLOP/s)",
             ["platform", "CPUs", "N", "with shift", "without", "speedup"],
             rows)
 
 
-EXPERIMENTS: dict[str, Callable[[bool], Result]] = {
+EXPERIMENTS: dict[str, Callable[..., Result]] = {
     "fig5": _fig5,
     "fig6": _fig6,
     "fig7": _fig7,
@@ -165,11 +186,17 @@ EXPERIMENTS: dict[str, Callable[[bool], Result]] = {
 }
 
 
-def run_experiment(name: str, full: bool = False) -> Result:
-    """Run one registered experiment; see :data:`EXPERIMENTS` for names."""
+def run_experiment(name: str, full: bool = False,
+                   jobs: Optional[int] = 1) -> Result:
+    """Run one registered experiment; see :data:`EXPERIMENTS` for names.
+
+    ``jobs`` is the worker-process count for the experiment's independent
+    simulation points (``None``/``0`` = all CPU cores, ``1`` = serial); the
+    emitted rows are identical regardless.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    return fn(full)
+    return fn(full, jobs=jobs)

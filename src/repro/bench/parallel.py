@@ -1,0 +1,191 @@
+"""Parallel experiment executor: fan independent points across CPU cores.
+
+Every figure reproduction and sweep is a list of *independent* simulation
+points — (machine, algorithm, shape, nranks) configurations whose runs
+share no state and are fully determined by their inputs (each simulation
+is seeded and self-contained, see ``tests/core/test_determinism.py``).
+This module exploits that embarrassing parallelism: :func:`run_points`
+serialises each point as a picklable :class:`PointSpec`, fans the specs
+across a :class:`~concurrent.futures.ProcessPoolExecutor`, and merges the
+:class:`~repro.bench.runner.MatmulPoint` results back **in submission
+order**.
+
+Determinism is the load-bearing invariant: because each point's simulation
+depends only on its spec, the result list is field-identical whatever the
+worker count — ``jobs=1`` (the exact old serial path), ``jobs=4``, or one
+worker per point.  ``tests/bench/test_parallel.py`` gates this with a
+serial-vs-parallel property test.
+
+Failure handling:
+
+- A point that raises inside a worker surfaces as
+  :class:`PointExecutionError` carrying the originating spec *and* the
+  worker-side traceback (a bare pickled exception would lose it).
+- When worker processes are unavailable — restricted sandboxes that forbid
+  ``fork``/``spawn``, or a pool that breaks mid-run — the executor falls
+  back to in-process serial execution with a :class:`RuntimeWarning`, so
+  sweeps still complete everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Sequence
+
+from ..machines.spec import MachineSpec
+from .runner import MatmulPoint, run_matmul
+
+__all__ = ["PointSpec", "PointExecutionError", "run_points", "resolve_jobs"]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """A picklable description of one simulation point.
+
+    Field names deliberately mirror the keyword signature of
+    :func:`repro.bench.runner.run_matmul`, so ``spec.run()`` is exactly
+    ``run_matmul(algorithm, machine, nranks, m, ...)``.  Every field is a
+    value object (frozen dataclasses, ints, bools), so specs cross process
+    boundaries by pickle without touching simulator state.
+    """
+
+    algorithm: str
+    machine: MachineSpec
+    nranks: int
+    m: int
+    n: Optional[int] = None
+    k: Optional[int] = None
+    transa: bool = False
+    transb: bool = False
+    payload: str = "synthetic"
+    verify: bool = False
+    options: Any = None
+    nb: Optional[int] = None
+    seed: int = 0
+    interference: Any = None
+
+    def run(self) -> MatmulPoint:
+        """Execute this point in the current process."""
+        kwargs = {f.name: getattr(self, f.name) for f in fields(self)
+                  if f.name not in ("algorithm", "machine", "nranks", "m")}
+        return run_matmul(self.algorithm, self.machine, self.nranks, self.m,
+                          **kwargs)
+
+    def describe(self) -> str:
+        t = ("T" if self.transa else "N") + ("T" if self.transb else "N")
+        return (f"{self.algorithm}/{self.machine.name} "
+                f"m={self.m} n={self.n} k={self.k} {t} P={self.nranks}")
+
+
+class PointExecutionError(RuntimeError):
+    """One point failed inside a worker; carries spec + remote traceback."""
+
+    def __init__(self, spec: PointSpec, remote_traceback: str):
+        self.spec = spec
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"simulation point failed: {spec.describe()}\n"
+            f"--- worker traceback ---\n{remote_traceback}")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPU cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def _run_point_payload(spec: PointSpec):
+    """Worker entry: run one spec, shipping failures back as data.
+
+    Exceptions are converted to ``("err", spec, traceback_text)`` tuples in
+    the worker so the parent can re-raise with the *remote* traceback; a
+    pickled exception alone arrives stripped of it.
+    """
+    try:
+        return ("ok", spec.run())
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        return ("err", spec, traceback.format_exc())
+
+
+def _unwrap(payload, results: list) -> None:
+    status = payload[0]
+    if status == "err":
+        _, spec, tb = payload
+        raise PointExecutionError(spec, tb)
+    results.append(payload[1])
+
+
+def _run_serial(specs: Sequence[PointSpec]) -> list[MatmulPoint]:
+    return [spec.run() for spec in specs]
+
+
+def _make_pool(max_workers: int):
+    """Create the process pool, preferring ``fork`` where available.
+
+    ``fork`` inherits the parent's imported modules and warm plan caches,
+    so worker start-up is near-free; platforms without it (Windows, macOS
+    spawn default) fall back to the interpreter default.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
+               ) -> list[MatmulPoint]:
+    """Run independent simulation points, possibly across worker processes.
+
+    Parameters
+    ----------
+    specs:
+        The points to run.  Results come back in the same order.
+    jobs:
+        Worker process count; ``None``/``0`` means ``os.cpu_count()``,
+        ``1`` runs the exact in-process serial path (no pool, no pickling).
+
+    Returns the :class:`MatmulPoint` list in submission order.  Results are
+    bit-identical for every ``jobs`` value: each point's simulation is
+    seeded and self-contained, so process placement cannot affect it.
+
+    Raises :class:`PointExecutionError` for the earliest (in submission
+    order) failing point.  If worker processes cannot be created or the
+    pool breaks mid-run, falls back to serial execution with a
+    :class:`RuntimeWarning`.
+    """
+    specs = list(specs)
+    njobs = resolve_jobs(jobs)
+    if njobs <= 1 or len(specs) <= 1:
+        return _run_serial(specs)
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        pool = _make_pool(min(njobs, len(specs)))
+    except (OSError, PermissionError, ValueError, ImportError,
+            NotImplementedError) as exc:
+        warnings.warn(
+            f"worker processes unavailable ({exc!r}); running "
+            f"{len(specs)} points serially", RuntimeWarning, stacklevel=2)
+        return _run_serial(specs)
+
+    results: list[MatmulPoint] = []
+    try:
+        with pool:
+            for payload in pool.map(_run_point_payload, specs):
+                _unwrap(payload, results)
+    except BrokenProcessPool as exc:
+        warnings.warn(
+            f"worker pool broke mid-run ({exc!r}); rerunning "
+            f"{len(specs)} points serially", RuntimeWarning, stacklevel=2)
+        return _run_serial(specs)
+    return results

@@ -8,6 +8,7 @@ size-scaled rule), and the result records.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
@@ -50,8 +51,6 @@ class MatmulPoint:
 def default_nb(n: int, nranks: int) -> int:
     """pdgemm/SUMMA panel size: 'chosen empirically' in the paper; here a
     rule that keeps both the panel count and the per-message size sane."""
-    import math
-
     q = max(1, int(math.isqrt(nranks)))
     # Aim for ~2 panels per owner block, floored at 32, capped at 256.
     nb = max(32, min(256, n // (2 * q)))
@@ -118,8 +117,19 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
 
 
 def sweep(algorithms: Sequence[str], spec: MachineSpec,
-          sizes: Iterable[int], nranks: int,
+          sizes: Iterable[int], nranks: int, jobs: Optional[int] = 1,
           **kwargs: Any) -> list[MatmulPoint]:
-    """Cross product of algorithms x square sizes at one rank count."""
-    return [run_matmul(alg, spec, nranks, size, **kwargs)
-            for size in sizes for alg in algorithms]
+    """Cross product of algorithms x square sizes at one rank count.
+
+    ``jobs`` fans the points across worker processes (``None``/``0`` = all
+    CPU cores); the default ``1`` keeps the in-process serial path.  The
+    result order — size-major, algorithm-minor — and every field of every
+    point are identical for any ``jobs`` value (each point's simulation is
+    seeded and self-contained).
+    """
+    from .parallel import PointSpec, run_points
+
+    specs = [PointSpec(algorithm=alg, machine=spec, nranks=nranks, m=size,
+                       **kwargs)
+             for size in sizes for alg in algorithms]
+    return run_points(specs, jobs=jobs)

@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 
 from .bench.microbench import PROTOCOLS, bandwidth_sweep, overlap_sweep
 from .bench.report import fmt_bytes, format_table
-from .bench.runner import ALGORITHMS, run_matmul
+from .bench.runner import ALGORITHMS, run_matmul, sweep
 from .machines import PLATFORMS, get_platform
 
 __all__ = ["main", "build_parser"]
@@ -68,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated square sizes")
     p_sweep.add_argument("--algorithms", default="srumma,pdgemm",
                          help=f"comma-separated subset of {ALGORITHMS}")
+    _jobs(p_sweep)
 
     p_bw = sub.add_parser("bandwidth", help="protocol bandwidth microbench")
     _common(p_bw, nranks=False)
@@ -85,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(EXPERIMENTS))
     p_rep.add_argument("--full", action="store_true",
                        help="full-scale sweep (slow); default is quick scale")
+    _jobs(p_rep)
 
     return parser
 
@@ -94,6 +96,13 @@ def _common(p: argparse.ArgumentParser, nranks: bool = True) -> None:
                    help=f"one of: {', '.join(sorted(PLATFORMS))}")
     if nranks:
         p.add_argument("--nranks", type=int, default=16)
+
+
+def _jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for independent simulation points "
+                        "(default: all CPU cores; 1 = serial in-process). "
+                        "Results are identical for any value.")
 
 
 def _cmd_platforms() -> int:
@@ -154,12 +163,11 @@ def _cmd_sweep(args) -> int:
         if alg not in ALGORITHMS:
             print(f"error: unknown algorithm {alg!r}", file=sys.stderr)
             return 2
+    points = sweep(algorithms, spec, sizes, args.nranks, jobs=args.jobs)
     rows = []
-    for size in sizes:
-        row: list = [size]
-        for alg in algorithms:
-            row.append(run_matmul(alg, spec, args.nranks, size).gflops)
-        rows.append(row)
+    for i, size in enumerate(sizes):
+        block = points[i * len(algorithms):(i + 1) * len(algorithms)]
+        rows.append([size, *(p.gflops for p in block)])
     print(format_table(
         ["N", *(f"{a} GF/s" for a in algorithms)], rows,
         title=f"{spec.name}, {args.nranks} CPUs (synthetic payload)"))
@@ -187,7 +195,8 @@ def _cmd_overlap(args) -> int:
 def _cmd_reproduce(args) -> int:
     from .bench.experiments import run_experiment
 
-    title, headers, rows = run_experiment(args.experiment, full=args.full)
+    title, headers, rows = run_experiment(args.experiment, full=args.full,
+                                          jobs=args.jobs)
     scale = "full" if args.full else "quick"
     print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
     if not args.full:

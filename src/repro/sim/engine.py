@@ -36,6 +36,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+# Hoisted once: the engine hot loop calls these per scheduled event, and a
+# module-global load is measurably cheaper than attribute lookup there.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "Engine",
     "Event",
@@ -178,14 +183,16 @@ class Timeout(Event):
             return
         self._armed = True
         self.engine = engine
+        # Bound method, not a closure: timeouts are the most common heap
+        # entry, and each closure allocation in the hot path costs more
+        # than the whole _schedule call.
+        engine._schedule(self.delay, self._fire)
 
-        def fire() -> None:
-            if not self._done:
-                self._done = True
-                self._ok = True
-                self._dispatch()
-
-        engine._schedule(self.delay, fire)
+    def _fire(self) -> None:
+        if not self._done:
+            self._done = True
+            self._ok = True
+            self._dispatch()
 
 
 class Process(Event):
@@ -195,13 +202,18 @@ class Process(Event):
     ``result = yield some_process`` both joins and collects the result.
     """
 
-    __slots__ = ("gen", "_waiting_on")
+    __slots__ = ("gen", "_waiting_on", "_wake_value", "_wake_exc")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
         super().__init__(engine, name=name)
         self.gen = gen
         self._waiting_on: Optional[Event] = None
-        engine._schedule(0.0, lambda: self._resume(None, None))
+        self._wake_value: Any = None
+        self._wake_exc: Optional[BaseException] = None
+        engine._schedule(0.0, self._start)
+
+    def _start(self) -> None:
+        self._resume(None, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -238,18 +250,12 @@ class Process(Event):
                     throw_exc = target.value
                     continue
                 self._waiting_on = target
-                me = self
-
-                def on_done(ev: Event, me=me) -> None:
-                    if me._waiting_on is not ev:
-                        return  # interrupted while waiting; stale wakeup
-                    me._waiting_on = None
-                    if ev.ok:
-                        engine._schedule(0.0, lambda: me._resume(ev.value, None))
-                    else:
-                        engine._schedule(0.0, lambda: me._resume(None, ev.value))
-
-                target.add_callback(on_done)
+                # Bound methods, not closures: one wait used to allocate an
+                # ``on_done`` closure plus a resume lambda; the wake payload
+                # now travels through two slots instead.  A process waits on
+                # one event at a time and the stored payload is consumed by
+                # the very next _wake, so the slots cannot be clobbered.
+                target.add_callback(self._on_wait_done)
                 return
         except StopIteration as stop:
             self._done = True
@@ -266,6 +272,23 @@ class Process(Event):
                 raise
         finally:
             engine._active = None
+
+    def _on_wait_done(self, ev: Event) -> None:
+        if self._waiting_on is not ev:
+            return  # interrupted while waiting; stale wakeup
+        self._waiting_on = None
+        if ev.ok:
+            self._wake_value = ev.value
+            self._wake_exc = None
+        else:
+            self._wake_value = None
+            self._wake_exc = ev.value
+        self.engine._schedule(0.0, self._wake)
+
+    def _wake(self) -> None:
+        value, exc = self._wake_value, self._wake_exc
+        self._wake_value = self._wake_exc = None
+        self._resume(value, exc)
 
 
 class AllOf(Event):
@@ -365,8 +388,9 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         call = _ScheduledCall(fn)
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, call))
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._heap, (self.now + delay, seq, call))
         self._live += 1
         return call
 
@@ -388,8 +412,10 @@ class Engine:
 
     def _compact(self) -> None:
         # (time, seq) keys are unique, so heapify of the filtered list pops
-        # in exactly the same order as the original heap would have.
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        # in exactly the same order as the original heap would have.  The
+        # list is filtered *in place* (slice assignment) because run()
+        # holds a local alias to it across callback invocations.
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._compactions += 1
 
@@ -434,13 +460,21 @@ class Engine:
         """
         self._collect_crashes = not raise_crashes
         self._running = True
+        # Hot-loop hoists: the heap list is aliased once (_compact filters
+        # it in place, so the alias survives compaction), heappop is a
+        # module global, and the step counter runs in a local that is
+        # written back in the finally block.  ``self.now`` and ``_live``
+        # stay attribute-resident because callbacks read them mid-run.
+        heap = self._heap
+        pop = _heappop
+        steps = self._step_count
         try:
-            while self._heap:
-                t, _seq, call = self._heap[0]
+            while heap:
+                t, _seq, call = heap[0]
                 if until is not None and t > until:
                     self.now = until
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
                 if call.cancelled:
                     continue
                 # Mark the entry dead *before* firing: it has left the heap,
@@ -451,14 +485,15 @@ class Engine:
                 if t < self.now - 1e-12:
                     raise SimulationError("event heap time went backwards")
                 self.now = t
-                self._step_count += 1
-                if self._step_count > max_steps:
+                steps += 1
+                if steps > max_steps:
                     raise SimulationError(f"exceeded {max_steps} engine steps")
                 call.fn()
             else:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
+            self._step_count = steps
             self._running = False
             self._collect_crashes = False
         return self.now

@@ -214,13 +214,14 @@ class FlowNetwork:
 
     def _settle_flow(self, flow: Flow) -> None:
         """Advance one flow's remaining-bytes to the current instant."""
-        dt = self.engine.now - flow._last_update
+        now = self.engine.now
+        dt = now - flow._last_update
         if dt > 0:
             moved = flow.rate * dt
             flow.remaining -= moved
             for link in flow.path:
                 link._bytes_carried += moved
-            flow._last_update = self.engine.now
+            flow._last_update = now
         if flow.remaining < 0:
             flow.remaining = 0.0
 

@@ -1,0 +1,133 @@
+"""Tests for the parallel point executor.
+
+The load-bearing invariant: each simulation point is seeded and
+self-contained, so ``run_points`` must return **field-identical**
+``MatmulPoint`` lists for any worker count.  The property test here is the
+gate for that; the rest covers ordering, error surfacing, the serial
+fallback, and ``--jobs`` resolution.
+"""
+
+import dataclasses
+import os
+import warnings
+
+import pytest
+
+from repro.bench.parallel import (
+    PointExecutionError,
+    PointSpec,
+    resolve_jobs,
+    run_points,
+)
+from repro.bench.runner import sweep
+from repro.core.srumma import SrummaOptions
+from repro.machines import IBM_SP, LINUX_MYRINET, SGI_ALTIX
+
+
+def _fields(points):
+    return [dataclasses.asdict(p) for p in points]
+
+
+# A deliberately heterogeneous spec list: multiple machines, algorithms,
+# shapes, transposes, options, and seeds — anything that could leak state
+# between points would break field-identity across worker placements.
+MIXED_SPECS = [
+    PointSpec("srumma", LINUX_MYRINET, 4, 24),
+    PointSpec("pdgemm", LINUX_MYRINET, 4, 24),
+    PointSpec("srumma", SGI_ALTIX, 8, 32, transa=True,
+              options=SrummaOptions(flavor="direct")),
+    PointSpec("srumma", IBM_SP, 4, 16, 24, 32, transb=True),
+    PointSpec("summa", LINUX_MYRINET, 4, 24),
+    PointSpec("cannon", LINUX_MYRINET, 4, 16),
+    PointSpec("fox", LINUX_MYRINET, 4, 16),
+    PointSpec("srumma", LINUX_MYRINET, 4, 24, payload="real", verify=True),
+    PointSpec("srumma", LINUX_MYRINET, 4, 24, seed=7, payload="real"),
+]
+
+
+def test_serial_and_parallel_runs_are_field_identical():
+    serial = run_points(MIXED_SPECS, jobs=1)
+    for jobs in (2, 4):
+        parallel = run_points(MIXED_SPECS, jobs=jobs)
+        assert _fields(parallel) == _fields(serial), (
+            f"jobs={jobs} diverged from serial")
+
+
+def test_results_come_back_in_submission_order():
+    points = run_points(MIXED_SPECS, jobs=3)
+    got = [(p.algorithm, p.platform, p.m, p.n, p.k) for p in points]
+    want = [(s.algorithm, s.machine.name, s.m,
+             s.n if s.n is not None else s.m,
+             s.k if s.k is not None else s.m) for s in MIXED_SPECS]
+    assert got == want
+
+
+def test_spec_run_matches_run_matmul_defaults():
+    # PointSpec defaults mirror run_matmul's benchmark defaults.
+    point = PointSpec("srumma", LINUX_MYRINET, 4, 24).run()
+    from repro.bench.runner import run_matmul
+
+    direct = run_matmul("srumma", LINUX_MYRINET, 4, 24)
+    assert dataclasses.asdict(point) == dataclasses.asdict(direct)
+
+
+def test_empty_spec_list():
+    assert run_points([], jobs=4) == []
+
+
+def test_worker_failure_surfaces_spec_and_traceback():
+    bad = PointSpec("summa", LINUX_MYRINET, 4, 16, transa=True)
+    good = PointSpec("srumma", LINUX_MYRINET, 4, 16)
+    with pytest.raises(PointExecutionError) as exc_info:
+        run_points([bad, good], jobs=2)
+    msg = str(exc_info.value)
+    assert "summa" in msg                  # the originating spec
+    assert "ValueError" in msg             # the worker-side traceback
+    assert exc_info.value.spec == bad
+
+
+def test_serial_path_raises_original_exception():
+    # jobs=1 is the exact old serial path: unwrapped exceptions.
+    bad = PointSpec("cannon", LINUX_MYRINET, 4, 16, transb=True)
+    with pytest.raises(ValueError, match="NN"):
+        run_points([bad], jobs=1)
+
+
+def test_fallback_to_serial_when_pool_unavailable(monkeypatch):
+    from repro.bench import parallel as mod
+
+    def broken_pool(max_workers):
+        raise OSError("no processes in this sandbox")
+
+    monkeypatch.setattr(mod, "_make_pool", broken_pool)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        points = run_points(MIXED_SPECS[:3], jobs=4)
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    assert _fields(points) == _fields(run_points(MIXED_SPECS[:3], jobs=1))
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(8) == 8
+    with pytest.raises(ValueError, match="positive"):
+        resolve_jobs(-2)
+
+
+def test_sweep_jobs_matches_serial_sweep():
+    serial = sweep(["srumma", "pdgemm"], LINUX_MYRINET, [16, 24], 4)
+    parallel = sweep(["srumma", "pdgemm"], LINUX_MYRINET, [16, 24], 4, jobs=2)
+    assert _fields(parallel) == _fields(serial)
+    # Order stays size-major, algorithm-minor.
+    assert [(p.algorithm, p.m) for p in parallel] == [
+        ("srumma", 16), ("pdgemm", 16), ("srumma", 24), ("pdgemm", 24)]
+
+
+def test_experiment_rows_identical_serial_vs_parallel():
+    from repro.bench.experiments import run_experiment
+
+    serial = run_experiment("fig10", full=False, jobs=1)
+    parallel = run_experiment("fig10", full=False, jobs=2)
+    assert serial == parallel

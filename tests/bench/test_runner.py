@@ -24,14 +24,15 @@ def test_run_matmul_unknown_algorithm():
         run_matmul("strassen", LINUX_MYRINET, 4, 16)
 
 
-def test_summa_rejects_transpose():
+@pytest.mark.parametrize("algorithm", ["summa", "cannon", "fox"])
+@pytest.mark.parametrize("flags", [
+    {"transa": True},
+    {"transb": True},
+    {"transa": True, "transb": True},
+])
+def test_nn_only_baselines_reject_transpose(algorithm, flags):
     with pytest.raises(ValueError, match="NN"):
-        run_matmul("summa", LINUX_MYRINET, 4, 16, transa=True)
-
-
-def test_cannon_rejects_transpose():
-    with pytest.raises(ValueError, match="NN"):
-        run_matmul("cannon", LINUX_MYRINET, 4, 16, transb=True)
+        run_matmul(algorithm, LINUX_MYRINET, 4, 16, **flags)
 
 
 def test_real_payload_with_verification():
@@ -59,6 +60,33 @@ def test_default_nb_bounds():
     assert 1 <= default_nb(10, 64) <= 10
     # Never exceeds the matrix.
     assert default_nb(5, 1) == 5
+
+
+def test_default_nb_tiny_matrices():
+    # The floor (32) would exceed these matrices; the result must clamp
+    # to N, never below 1.
+    assert default_nb(1, 1) == 1
+    assert default_nb(1, 1024) == 1
+    assert default_nb(2, 16) == 2
+    assert default_nb(31, 4) == 31
+
+
+def test_default_nb_huge_rank_counts():
+    # q = isqrt(nranks) can dwarf N: the panel formula goes to zero, the
+    # floor kicks in, and the N-clamp keeps it valid.
+    assert default_nb(100, 10_000) == 32          # floored, N > 32
+    assert default_nb(10, 1_000_000) == 10        # floored then clamped to N
+    assert default_nb(1, 2**31) == 1
+    # Non-square rank counts floor the sqrt: q = isqrt(8) = 2.
+    assert default_nb(1000, 8) == 1000 // (2 * 2)
+
+
+def test_default_nb_uses_module_level_math():
+    # The function is called per point in hot sweep loops; the math import
+    # must be at module scope, not re-executed per call.
+    from repro.bench import runner as runner_mod
+
+    assert hasattr(runner_mod, "math")
 
 
 def test_determinism_across_calls():

@@ -1,0 +1,156 @@
+"""Tests for the SRUMMA fetched-patch reuse cache (paper §3.1 step 2).
+
+``srumma_rank`` keeps a small LRU of fetched operand patches so adjacent
+tasks sharing a patch pay each transfer once.  These tests pin down the
+three contracts the cache makes:
+
+- capacity stays bounded at ``_CACHE_SLOTS = max(4, 2*pipeline_depth)``
+  buffers (the paper's memory-efficiency claim);
+- a cache hit *skips* the duplicate ``nb_get`` issue entirely;
+- ``stats.peak_buffer_bytes`` accounts live buffer bytes exactly.
+
+The exactness tests replay each rank's operand plan through a reference
+LRU of the same capacity and compare miss counts and byte high-water
+marks field-for-field with the run's :class:`RankStats`.
+"""
+
+from repro.core import srumma as srumma_mod
+from repro.core.api import srumma_multiply
+from repro.core.schedule import ScheduleOptions
+from repro.core.srumma import SrummaOptions
+from repro.distarray.distribution import Block2D, choose_grid
+from repro.machines import LINUX_MYRINET
+
+ITEMSIZE = 8  # synthetic runs charge float64 bytes
+
+
+def _rank_plans(res, nranks, m, n, k, transa, transb,
+                schedule=ScheduleOptions()):
+    """Reconstruct each rank's ordered operand plan for a synthetic run."""
+    p, q = choose_grid(nranks)
+    dist_a = Block2D(k if transa else m, m if transa else k, p, q)
+    dist_b = Block2D(n if transb else k, k if transb else n, p, q)
+    dist_c = Block2D(m, n, p, q)
+    machine = res.run.machine
+    for rank in range(nranks):
+        coords = dist_c.coords_of(rank)
+        _, plans, _, _ = srumma_mod._build_plan(
+            machine, rank, coords, dist_a, dist_b, dist_c,
+            transa, transb, "cluster", schedule)
+        yield rank, plans
+
+
+def _get_keys(plans):
+    """(slot, owner, section) cache keys of every get operand, plan order."""
+    return [(slot, op.owner, op.index[0].start, op.index[0].stop,
+             op.index[1].start, op.index[1].stop)
+            for pair in plans for slot, op in enumerate(pair)
+            if op.mode == "get"]
+
+
+def _replay_lru(plans, slots):
+    """Reference LRU replay: (miss count, peak live buffer bytes)."""
+    cache: dict = {}
+    sizes: dict = {}
+    live = peak = 0.0
+    misses = 0
+    for pair in plans:
+        for slot, op in enumerate(pair):
+            if op.mode != "get":
+                continue
+            key = (slot, op.owner, op.index[0].start, op.index[0].stop,
+                   op.index[1].start, op.index[1].stop)
+            if key in cache:
+                cache[key] = cache.pop(key)  # refresh LRU position
+                continue
+            misses += 1
+            while len(cache) >= slots:
+                old = next(iter(cache))
+                cache.pop(old)
+                live -= sizes.pop(old)
+            nbytes = op.elems * ITEMSIZE
+            cache[key] = None
+            sizes[key] = nbytes
+            live += nbytes
+            peak = max(peak, live)
+    return misses, peak
+
+
+# The TT case on a non-square (4x2) grid produces segmented task lists
+# where adjacent tasks re-fetch the same operand patch — the reuse the
+# paper's "currently held A_ik block is used in consecutive products"
+# sentence describes.
+TT_CASE = dict(nranks=8, m=32, n=32, k=32, transa=True, transb=True)
+
+
+def test_cache_hits_skip_duplicate_nb_get_issues():
+    res = srumma_multiply(LINUX_MYRINET, TT_CASE["nranks"], TT_CASE["m"],
+                          TT_CASE["n"], TT_CASE["k"], transa=True,
+                          transb=True, payload="synthetic", verify=False)
+    planned = 0
+    for _, plans in _rank_plans(res, **TT_CASE):
+        planned += len(_get_keys(plans))
+    issued = sum(s.remote_gets for s in res.stats)
+    assert planned > issued, "workload has no duplicate fetches to reuse"
+    # Every skipped issue is a duplicate-key hit; the gap is the reuse win.
+    assert planned - issued >= 20
+
+
+def test_remote_gets_and_peak_bytes_match_reference_lru_exactly():
+    res = srumma_multiply(LINUX_MYRINET, TT_CASE["nranks"], TT_CASE["m"],
+                          TT_CASE["n"], TT_CASE["k"], transa=True,
+                          transb=True, payload="synthetic", verify=False)
+    slots = max(4, 2 * SrummaOptions().pipeline_depth)
+    for rank, plans in _rank_plans(res, **TT_CASE):
+        misses, peak = _replay_lru(plans, slots)
+        st = res.stats[rank]
+        assert st.remote_gets == misses, f"rank {rank} issue count"
+        assert st.peak_buffer_bytes == peak, f"rank {rank} peak bytes"
+
+
+def test_eviction_keeps_buffer_memory_bounded_at_cache_slots():
+    # 16 ranks on a 4x4 grid at N=64: every rank plans 5 distinct remote
+    # patches of 16x16 floats — one more than the 4 cache slots, so
+    # eviction must cap live buffers at exactly 4 blocks.
+    nranks, m = 16, 64
+    res = srumma_multiply(LINUX_MYRINET, nranks, m, m, m,
+                          payload="synthetic", verify=False)
+    block_bytes = (m // 4) * (m // 4) * ITEMSIZE
+    slots = max(4, 2 * SrummaOptions().pipeline_depth)
+    for st in res.stats:
+        assert st.remote_gets > slots - 1  # distinct patches exceed capacity
+        assert st.peak_buffer_bytes <= slots * block_bytes
+        # Fetched more bytes than ever live at once — eviction really ran.
+        assert st.bytes_fetched > st.peak_buffer_bytes
+
+
+def test_peak_equals_bytes_fetched_when_nothing_evicted():
+    # 8 ranks, NN: 3 distinct remote patches per rank, under the 4-slot
+    # capacity — the high-water mark must equal total fetched bytes.
+    res = srumma_multiply(LINUX_MYRINET, 8, 32, 32, 32,
+                          payload="synthetic", verify=False)
+    for st in res.stats:
+        assert 0 < st.remote_gets <= 4
+        assert st.peak_buffer_bytes == st.bytes_fetched
+
+
+def test_deeper_pipeline_widens_the_cache():
+    # pipeline_depth=4 -> 8 slots: the 5-distinct-patch workload that
+    # overflowed the default cache now fits with no eviction.
+    nranks, m = 16, 64
+    opts = SrummaOptions(pipeline_depth=4)
+    res = srumma_multiply(LINUX_MYRINET, nranks, m, m, m, options=opts,
+                          payload="synthetic", verify=False)
+    for st in res.stats:
+        assert st.peak_buffer_bytes == st.bytes_fetched
+
+
+def test_cache_counters_are_deterministic_across_runs():
+    res1 = srumma_multiply(LINUX_MYRINET, 8, 32, 32, 32, transa=True,
+                           transb=True, payload="synthetic", verify=False)
+    res2 = srumma_multiply(LINUX_MYRINET, 8, 32, 32, 32, transa=True,
+                           transb=True, payload="synthetic", verify=False)
+    assert [s.remote_gets for s in res1.stats] == \
+        [s.remote_gets for s in res2.stats]
+    assert [s.peak_buffer_bytes for s in res1.stats] == \
+        [s.peak_buffer_bytes for s in res2.stats]
