@@ -48,8 +48,10 @@ import json
 import os
 import platform
 import re
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -64,7 +66,7 @@ from repro.core.srumma import SrummaOptions  # noqa: E402
 from repro.machines.platforms import get_platform  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # (name, machine, nranks, mnk, diagonal_shift).  The contended workload is
 # the acceptance gate: every CPU of a node fetches from the same remote
@@ -93,6 +95,17 @@ WORKLOADS: list[tuple[str, str, int, int, bool]] = [
 SWEEP_WORKLOADS: list[tuple[str, str, int, tuple[int, ...], tuple[str, ...]]] = [
     ("sweep-myrinet-12pt", "linux-myrinet", 64,
      (512, 1024, 1536, 2048), ("srumma", "pdgemm", "summa")),
+]
+
+# Cache-level workloads: (name, experiments).  Each rep reproduces the
+# figure set *cold* (fresh result-cache directory) and then *warm* (same
+# disk store, fresh memory tier — i.e. what a second ``repro reproduce``
+# invocation sees); the speedup between the two is what the
+# content-addressed result cache buys across runs.  The warm pass must
+# emit identical tables or the benchmark aborts.
+CACHE_WORKLOADS: list[tuple[str, tuple[str, ...]]] = [
+    ("cache-reproduce-quick",
+     ("fig5", "fig9", "fig10", "table1", "diag-shift")),
 ]
 
 
@@ -191,6 +204,75 @@ def run_sweep_workload(name: str, machine: str, nranks: int,
     }
 
 
+def run_cache_workload(name: str, experiments: tuple[str, ...],
+                       reps: int) -> dict:
+    """Time a figure-set reproduction cold vs warm through the result cache.
+
+    Each rep starts from an empty cache directory, reproduces the
+    experiment set with one shared :class:`ResultCache` (the cold pass),
+    then repeats with a *new* cache instance over the same directory —
+    an empty memory tier but a warm disk store, exactly what a second
+    ``repro reproduce`` process sees.  The warm pass must return tables
+    field-identical to the cold pass and serve every point from disk, or
+    the benchmark aborts.
+    """
+    from repro.bench.cache import ResultCache
+    from repro.bench.experiments import run_experiment
+
+    cold_runs: list[float] = []
+    warm_runs: list[float] = []
+    reference = None
+    counters: dict | None = None
+    for _ in range(reps):
+        cachedir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+        try:
+            cold_cache = ResultCache(cachedir)
+            t0 = time.perf_counter()
+            cold_tables = [run_experiment(e, jobs=1, cache=cold_cache)
+                           for e in experiments]
+            cold_runs.append(time.perf_counter() - t0)
+
+            warm_cache = ResultCache(cachedir)
+            t0 = time.perf_counter()
+            warm_tables = [run_experiment(e, jobs=1, cache=warm_cache)
+                           for e in experiments]
+            warm_runs.append(time.perf_counter() - t0)
+
+            if warm_tables != cold_tables:
+                raise AssertionError(
+                    f"{name}: warm (cached) tables diverged from cold")
+            if warm_cache.stats.misses:
+                raise AssertionError(
+                    f"{name}: warm pass missed the cache "
+                    f"({warm_cache.stats.summary()})")
+            if reference is None:
+                reference = cold_tables
+            elif cold_tables != reference:
+                raise AssertionError(f"{name}: cold results changed across reps")
+            counters = {
+                "cold_misses": cold_cache.stats.misses,
+                "cold_deduped": cold_cache.stats.deduped,
+                "warm_disk_hits": warm_cache.stats.disk_hits,
+                "warm_memory_hits": warm_cache.stats.memory_hits,
+                "warm_deduped": warm_cache.stats.deduped,
+            }
+        finally:
+            shutil.rmtree(cachedir, ignore_errors=True)
+    cold_median = statistics.median(cold_runs)
+    warm_median = statistics.median(warm_runs)
+    return {
+        "kind": "cache",
+        "experiments": list(experiments),
+        "cold_runs_s": [round(r, 6) for r in cold_runs],
+        "cold_median_s": round(cold_median, 6),
+        "warm_runs_s": [round(r, 6) for r in warm_runs],
+        "warm_median_s": round(warm_median, 6),
+        "warm_speedup": (round(cold_median / warm_median, 3)
+                         if warm_median > 0 else None),
+        **(counters or {}),
+    }
+
+
 def merge_baseline(records: dict, baseline_path: Path) -> None:
     """Attach baseline medians and speedups from a previous run.
 
@@ -217,6 +299,13 @@ def merge_baseline(records: dict, baseline_path: Path) -> None:
                         rec["baseline_serial_median_s"]
                         / rec["serial_median_s"], 3)
             continue
+        if rec.get("kind") == "cache":
+            prev = base.get("cold_median_s")
+            if prev:
+                rec["prev_cold_median_s"] = prev
+                rec["baseline_cold_median_s"] = base.get(
+                    "baseline_cold_median_s", prev)
+            continue
         rec["prev_median_s"] = base["median_s"]
         rec["baseline_median_s"] = base.get("baseline_median_s",
                                             base["median_s"])
@@ -242,11 +331,13 @@ def main(argv=None) -> dict:
 
     selected = WORKLOADS
     selected_sweeps = SWEEP_WORKLOADS
+    selected_caches = CACHE_WORKLOADS
     if args.only:
         pat = re.compile(args.only)
         selected = [w for w in WORKLOADS if pat.search(w[0])]
         selected_sweeps = [w for w in SWEEP_WORKLOADS if pat.search(w[0])]
-        if not selected and not selected_sweeps:
+        selected_caches = [w for w in CACHE_WORKLOADS if pat.search(w[0])]
+        if not selected and not selected_sweeps and not selected_caches:
             parser.error(f"--only {args.only!r} matched no workloads")
 
     jobs = resolve_jobs(args.jobs)
@@ -266,6 +357,14 @@ def main(argv=None) -> dict:
         print(f"[bench_wallclock] {name}: serial {rec['serial_median_s']:.3f}s, "
               f"jobs={jobs} {rec['parallel_median_s']:.3f}s "
               f"({rec['parallel_speedup']}x)", flush=True)
+
+    for name, experiments in selected_caches:
+        print(f"[bench_wallclock] {name} ...", flush=True)
+        rec = run_cache_workload(name, experiments, args.reps)
+        records[name] = rec
+        print(f"[bench_wallclock] {name}: cold {rec['cold_median_s']:.3f}s, "
+              f"warm {rec['warm_median_s']:.3f}s "
+              f"({rec['warm_speedup']}x)", flush=True)
 
     if args.baseline and args.baseline.exists():
         merge_baseline(records, args.baseline)
@@ -346,6 +445,37 @@ if pytest is not None:
             if rec.get("jobs", 1) < 4:
                 pytest.skip(f"{name} recorded with jobs={rec.get('jobs')}")
             assert rec["parallel_speedup"] >= 3.0
+
+    @pytest.mark.slow
+    def test_wallclock_cache_smoke(tmp_path):
+        """Cache-level benchmark runs; warm pass is all-hits and faster
+        bookkeeping is recorded."""
+        out = tmp_path / "bench.json"
+        payload = main(["--only", "cache-reproduce-quick", "--reps", "1",
+                        "--out", str(out)])
+        rec = payload["workloads"]["cache-reproduce-quick"]
+        assert rec["kind"] == "cache"
+        assert rec["cold_median_s"] > 0
+        assert rec["warm_median_s"] > 0
+        assert rec["cold_misses"] > 0
+        # Every unique point the cold pass computed is served from disk on
+        # the warm pass (repeats promote to the memory tier).
+        assert rec["warm_disk_hits"] == rec["cold_misses"]
+
+    @pytest.mark.slow
+    def test_wallclock_cache_gate_vs_recorded():
+        """The committed cache-level record must show the >=5x warm-cache
+        speedup on the reproduce workload."""
+        if not DEFAULT_OUT.exists():
+            pytest.skip("no BENCH_wallclock.json recorded yet")
+        data = json.loads(DEFAULT_OUT.read_text())
+        recs = {n: r for n, r in data["workloads"].items()
+                if r.get("kind") == "cache"}
+        assert recs, "no cache-level benchmark recorded"
+        for name, rec in recs.items():
+            assert rec["warm_speedup"] >= 5.0, (
+                f"{name}: warm-cache reproduce only {rec['warm_speedup']}x "
+                "faster than cold")
 
 
 if __name__ == "__main__":

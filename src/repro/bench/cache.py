@@ -1,0 +1,433 @@
+"""Content-addressed simulation result cache (memory + disk tiers).
+
+The paper's evaluation (Figs. 5-10, Table 1) is a grid of overlapping
+(machine, algorithm, N, P, protocol) points, and every simulation point is
+a pure function of its :class:`~repro.bench.parallel.PointSpec` — seeded,
+self-contained, deterministic (``tests/core/test_determinism.py``).  That
+makes results *content-addressable*: a canonical fingerprint of the spec
+identifies the result completely, so a point shared by several figures (or
+by successive ``repro reproduce`` invocations) only ever needs to be
+simulated once.  Task-based MM systems make the same move of memoizing
+repeated block-level work rather than re-executing it (Calvin & Valeev,
+arXiv:1504.05046).
+
+Key anatomy
+-----------
+:func:`point_key` hashes the *normalized* spec — machine model fingerprint
+(every calibration constant, floats rendered via ``float.hex`` so the key
+is exact and platform-independent), algorithm + options (nested dataclasses
+walked field by field), ``m/n/k`` with the square-default applied,
+``nranks``, transposes, payload mode, ``nb``, ``seed``, interference — plus
+:data:`CACHE_SCHEMA_VERSION`.  Canonicalisation is a sorted-keys compact
+JSON dump, so the key is stable across Python versions and dict orderings.
+
+Invalidation is by *namespace*, not per entry: disk entries live under
+``<dir>/v<schema>-<code_fingerprint>/`` where the code fingerprint hashes
+every ``repro`` source file.  Any change to the simulator silently starts a
+fresh namespace; stale entries are never consulted and ``repro cache
+clear`` reaps them.
+
+Tiers
+-----
+- **memory**: a bounded LRU (:class:`ResultCache` ``memory_entries``) for
+  intra-run hits — figures sharing points inside one ``repro reproduce``
+  invocation pay for each point once.
+- **disk**: one JSON file per entry (atomic ``os.replace`` writes) for
+  cross-run hits.  A damaged or mismatched entry is discarded and the
+  point recomputed — corruption is never fatal.
+
+Stored payloads round-trip exactly: JSON encodes floats via ``repr``,
+which is shortest-round-trip in CPython, and tuples are tagged so decoded
+:class:`~repro.bench.runner.MatmulPoint` objects are field-identical to
+freshly simulated ones (``tests/bench/test_cache.py`` gates this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from copy import deepcopy
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from .runner import MatmulPoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .parallel import PointSpec
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "canonical_spec",
+    "code_fingerprint",
+    "default_cache_dir",
+    "point_key",
+]
+
+CACHE_SCHEMA_VERSION = 1
+"""Bump when the key anatomy or the entry format changes; old disk
+namespaces become unreachable (and reapable) rather than misread."""
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Disk store location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-srumma``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-srumma"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, so stale entries self-invalidate.
+
+    Computed once per process; any edit to the simulator, the algorithms,
+    or the machine models changes the namespace under which disk entries
+    are stored and looked up.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# -- canonicalisation ---------------------------------------------------------
+
+def _canon(value: Any) -> Any:
+    """Reduce a spec field to a deterministic JSON-serialisable form.
+
+    Floats become ``float.hex`` strings (exact, no shortest-repr
+    dependence), dataclasses become name-tagged sorted dicts, tuples become
+    lists.  Unknown objects fall back to ``repr`` — good enough to *key*
+    on, never used to reconstruct anything.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {f.name: _canon(getattr(value, f.name))
+               for f in dataclasses.fields(value)}
+        out["__dataclass__"] = type(value).__name__
+        return out
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    return repr(value)
+
+
+def canonical_spec(spec: "PointSpec") -> dict:
+    """The normalized, canonical form of a spec that the key hashes.
+
+    ``n``/``k`` have the square default applied, so ``PointSpec(m=32)`` and
+    ``PointSpec(m=32, n=32, k=32)`` — the same simulation — share a key.
+    """
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "algorithm": spec.algorithm,
+        "machine": _canon(spec.machine),
+        "nranks": spec.nranks,
+        "m": spec.m,
+        "n": spec.n if spec.n is not None else spec.m,
+        "k": spec.k if spec.k is not None else spec.m,
+        "transa": spec.transa,
+        "transb": spec.transb,
+        "payload": spec.payload,
+        "verify": spec.verify,
+        "options": _canon(spec.options),
+        "nb": spec.nb,
+        "seed": spec.seed,
+        "interference": _canon(spec.interference),
+    }
+
+
+def _canonical_json(blob: dict) -> str:
+    return json.dumps(blob, sort_keys=True, separators=(",", ":"))
+
+
+def point_key(spec: "PointSpec") -> str:
+    """Content address of one simulation point (hex sha256)."""
+    return hashlib.sha256(
+        _canonical_json(canonical_spec(spec)).encode()).hexdigest()
+
+
+# -- payload (de)serialisation ------------------------------------------------
+
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode(value: Any) -> Any:
+    """JSON-safe encoding of a MatmulPoint field tree; tuples are tagged so
+    decoding restores them exactly (``extra['grid']`` is a tuple)."""
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        if any(not isinstance(k, str) for k in value):
+            raise TypeError("cache payloads need string dict keys")
+        return {k: _encode(v) for k, v in value.items()}
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value  # json uses repr(): exact round-trip for finite floats
+    raise TypeError(f"uncacheable value of type {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(_decode(v) for v in value[_TUPLE_TAG])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def encode_point(point: MatmulPoint) -> dict:
+    return _encode(dataclasses.asdict(point))
+
+
+def decode_point(payload: dict) -> MatmulPoint:
+    fields = _decode(payload)
+    if (not isinstance(fields, dict)
+            or set(fields) != {f.name for f in dataclasses.fields(MatmulPoint)}):
+        raise ValueError("cache entry does not describe a MatmulPoint")
+    return MatmulPoint(**fields)
+
+
+# -- the cache ----------------------------------------------------------------
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache instance; reported at the end of each sweep."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    deduped: int = 0
+    """Duplicate specs inside one ``run_points`` batch, served from the
+    first occurrence's result instead of being resimulated."""
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    corrupt_discarded: int = 0
+    uncacheable: int = 0
+    write_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits + self.deduped
+
+    def summary(self) -> str:
+        return (f"hits={self.hits} (memory={self.memory_hits} "
+                f"disk={self.disk_hits} dedup={self.deduped}) "
+                f"misses={self.misses} writes={self.writes} "
+                f"bytes_read={self.bytes_read} "
+                f"bytes_written={self.bytes_written} "
+                f"corrupt={self.corrupt_discarded}")
+
+
+class ResultCache:
+    """Two-tier (LRU memory + JSON disk) store of simulated MatmulPoints.
+
+    Parameters
+    ----------
+    directory:
+        Disk store root; defaults to :func:`default_cache_dir`.
+    memory_entries:
+        LRU bound of the in-memory tier.
+    use_disk:
+        ``False`` keeps the cache purely in-memory (intra-run dedup only).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 memory_entries: int = 4096, use_disk: bool = True):
+        self.directory = (Path(directory).expanduser() if directory is not None
+                          else default_cache_dir())
+        self.memory_entries = max(1, int(memory_entries))
+        self.use_disk = use_disk
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, MatmulPoint]" = OrderedDict()
+
+    # -- key plumbing ------------------------------------------------------
+    @property
+    def namespace(self) -> str:
+        return f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()[:16]}"
+
+    @property
+    def namespace_dir(self) -> Path:
+        return self.directory / self.namespace
+
+    def key(self, spec: "PointSpec") -> str:
+        return point_key(spec)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.namespace_dir / key[:2] / f"{key}.json"
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, spec: "PointSpec" = None, *, key: Optional[str] = None,
+            count_miss: bool = True) -> Optional[MatmulPoint]:
+        """Return the cached point for ``spec`` (or precomputed ``key``).
+
+        Counts a memory or disk hit on success; counts a miss on failure
+        unless ``count_miss=False`` (used by ``run_points`` to classify
+        in-batch duplicates separately).
+        """
+        if key is None:
+            key = self.key(spec)
+        point = self._memory.get(key)
+        if point is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return deepcopy(point)
+        point = self._read_disk(key)
+        if point is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, point)
+            return deepcopy(point)
+        if count_miss:
+            self.stats.misses += 1
+        return None
+
+    def note_miss(self) -> None:
+        self.stats.misses += 1
+
+    def note_dedup(self) -> None:
+        self.stats.deduped += 1
+
+    def _read_disk(self, key: str) -> Optional[MatmulPoint]:
+        if not self.use_disk:
+            return None
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw)
+            if (not isinstance(entry, dict)
+                    or entry.get("entry_schema") != CACHE_SCHEMA_VERSION
+                    or entry.get("key") != key):
+                raise ValueError("entry header mismatch")
+            point = decode_point(entry["point"])
+        except (ValueError, KeyError, TypeError):
+            # Damaged entry: discard and let the caller recompute.
+            self.stats.corrupt_discarded += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.bytes_read += len(raw)
+        return point
+
+    # -- store -------------------------------------------------------------
+    def put(self, spec: "PointSpec", point: MatmulPoint,
+            *, key: Optional[str] = None) -> None:
+        """Store one simulated point in both tiers (best-effort on disk)."""
+        if key is None:
+            key = self.key(spec)
+        try:
+            payload = encode_point(point)
+        except TypeError:
+            self.stats.uncacheable += 1
+            return
+        self._remember(key, deepcopy(point))
+        if not self.use_disk:
+            return
+        entry = {
+            "entry_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "spec": canonical_spec(spec),
+            "point": payload,
+        }
+        data = (_canonical_json(entry) + "\n").encode()
+        path = self._entry_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(data)
+            os.replace(tmp, path)  # atomic: concurrent writers can race safely
+        except OSError:
+            self.stats.write_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def _remember(self, key: str, point: MatmulPoint) -> None:
+        self._memory[key] = point
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- maintenance -------------------------------------------------------
+    def disk_stats(self) -> dict:
+        """Entry/byte counts per namespace under :attr:`directory`."""
+        namespaces: dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for ns_dir in sorted(p for p in self.directory.iterdir()
+                                 if p.is_dir()):
+                entries = 0
+                nbytes = 0
+                for f in ns_dir.rglob("*.json"):
+                    entries += 1
+                    try:
+                        nbytes += f.stat().st_size
+                    except OSError:
+                        pass
+                namespaces[ns_dir.name] = {
+                    "entries": entries,
+                    "bytes": nbytes,
+                    "current": ns_dir.name == self.namespace,
+                }
+                total_entries += entries
+                total_bytes += nbytes
+        return {
+            "directory": str(self.directory),
+            "namespace": self.namespace,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "namespaces": namespaces,
+        }
+
+    def clear(self) -> int:
+        """Delete every disk entry (all namespaces) and the memory tier.
+
+        Returns the number of entries removed.  Directories are pruned
+        best-effort; a concurrent writer can safely recreate them.
+        """
+        removed = 0
+        self._memory.clear()
+        if self.directory.is_dir():
+            for f in self.directory.rglob("*.json"):
+                try:
+                    f.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for d in sorted(self.directory.rglob("*"), reverse=True):
+                if d.is_dir():
+                    try:
+                        d.rmdir()
+                    except OSError:
+                        pass
+        return removed

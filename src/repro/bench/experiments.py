@@ -30,7 +30,8 @@ __all__ = ["EXPERIMENTS", "run_experiment"]
 Result = tuple[str, list[str], list[list]]
 
 
-def _fig5(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig5(full: bool, jobs: Optional[int] = 1,
+          cache=None, verbose: bool = False) -> Result:
     cases = [(spec, transa)
              for spec in (CRAY_X1, SGI_ALTIX)
              for transa in ((False, True) if full else (False,))]
@@ -38,7 +39,7 @@ def _fig5(full: bool, jobs: Optional[int] = 1) -> Result:
         [PointSpec("srumma", spec, 16, 2000, transa=transa,
                    options=SrummaOptions(flavor=flavor))
          for spec, transa in cases for flavor in ("direct", "copy")],
-        jobs=jobs)
+        jobs=jobs, cache=cache, verbose=verbose)
     rows = []
     for i, (spec, transa) in enumerate(cases):
         case = "C=A^T B" if transa else "C=AB"
@@ -49,7 +50,8 @@ def _fig5(full: bool, jobs: Optional[int] = 1) -> Result:
             ["platform", "case", "direct GF/s", "copy GF/s", "ratio"], rows)
 
 
-def _fig6(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig6(full: bool, jobs: Optional[int] = 1,
+          cache=None, verbose: bool = False) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     shm = dict(bandwidth_sweep(CRAY_X1, "shmem", sizes))
     mpi = dict(bandwidth_sweep(CRAY_X1, "mpi", sizes))
@@ -58,7 +60,8 @@ def _fig6(full: bool, jobs: Optional[int] = 1) -> Result:
             ["msg size", "shmem MB/s", "MPI MB/s"], rows)
 
 
-def _fig7(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig7(full: bool, jobs: Optional[int] = 1,
+          cache=None, verbose: bool = False) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     specs = (IBM_SP, LINUX_MYRINET) if full else (LINUX_MYRINET,)
     rows = []
@@ -73,7 +76,8 @@ def _fig7(full: bool, jobs: Optional[int] = 1) -> Result:
     return ("Fig. 7 — communication/computation overlap", headers, rows)
 
 
-def _fig8(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig8(full: bool, jobs: Optional[int] = 1,
+          cache=None, verbose: bool = False) -> Result:
     sizes = tuple(1 << s for s in range(8, 23, 1 if full else 2))
     sp_get = dict(bandwidth_sweep(IBM_SP, "armci_get", sizes))
     sp_mpi = dict(bandwidth_sweep(IBM_SP, "mpi", sizes))
@@ -85,7 +89,8 @@ def _fig8(full: bool, jobs: Optional[int] = 1) -> Result:
             ["msg size", "SP get", "SP mpi", "myri get", "myri mpi"], rows)
 
 
-def _fig9(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig9(full: bool, jobs: Optional[int] = 1,
+          cache=None, verbose: bool = False) -> Result:
     sizes = (600, 1000, 2000, 4000) if full else (1000, 2000)
     specs = []
     for n in sizes:
@@ -95,14 +100,15 @@ def _fig9(full: bool, jobs: Optional[int] = 1) -> Result:
             for nonblocking in (True, False):
                 opts = SrummaOptions(flavor="cluster", nonblocking=nonblocking)
                 specs.append(PointSpec("srumma", spec, 16, n, options=opts))
-    points = run_points(specs, jobs=jobs)
+    points = run_points(specs, jobs=jobs, cache=cache, verbose=verbose)
     rows = [[n] + [p.gflops for p in points[4 * i:4 * i + 4]]
             for i, n in enumerate(sizes)]
     return ("Fig. 9 — zero-copy/nonblocking impact (GFLOP/s, 16 CPUs)",
             ["N", "zc+nb", "zc+blk", "nozc+nb", "nozc+blk"], rows)
 
 
-def _fig10(full: bool, jobs: Optional[int] = 1) -> Result:
+def _fig10(full: bool, jobs: Optional[int] = 1,
+           cache=None, verbose: bool = False) -> Result:
     sizes = (600, 1000, 2000, 4000, 8000, 12000) if full else (600, 2000)
     platforms = ([(LINUX_MYRINET, 128), (IBM_SP, 256),
                   (CRAY_X1, 128), (SGI_ALTIX, 128)] if full
@@ -111,7 +117,7 @@ def _fig10(full: bool, jobs: Optional[int] = 1) -> Result:
     points = run_points(
         [PointSpec(alg, spec, nranks, n)
          for spec, nranks, n in cases for alg in ("srumma", "pdgemm")],
-        jobs=jobs)
+        jobs=jobs, cache=cache, verbose=verbose)
     rows = []
     for i, (spec, nranks, n) in enumerate(cases):
         s, p = points[2 * i].gflops, points[2 * i + 1].gflops
@@ -121,7 +127,8 @@ def _fig10(full: bool, jobs: Optional[int] = 1) -> Result:
             rows)
 
 
-def _table1(full: bool, jobs: Optional[int] = 1) -> Result:
+def _table1(full: bool, jobs: Optional[int] = 1,
+            cache=None, verbose: bool = False) -> Result:
     cases = [
         (4000, 4000, 4000, 128, False, False, SGI_ALTIX),
         (2000, 2000, 2000, 128, False, False, CRAY_X1),
@@ -140,7 +147,7 @@ def _table1(full: bool, jobs: Optional[int] = 1) -> Result:
         [PointSpec(alg, spec, cpus, m, n, k, transa=ta, transb=tb)
          for m, n, k, cpus, ta, tb, spec in cases
          for alg in ("srumma", "pdgemm")],
-        jobs=jobs)
+        jobs=jobs, cache=cache, verbose=verbose)
     rows = []
     for i, (m, n, k, cpus, ta, tb, spec) in enumerate(cases):
         s, p = points[2 * i].gflops, points[2 * i + 1].gflops
@@ -151,7 +158,8 @@ def _table1(full: bool, jobs: Optional[int] = 1) -> Result:
             rows)
 
 
-def _diag_shift(full: bool, jobs: Optional[int] = 1) -> Result:
+def _diag_shift(full: bool, jobs: Optional[int] = 1,
+                cache=None, verbose: bool = False) -> Result:
     from ..core.schedule import ScheduleOptions
 
     sizes = (1000, 2000, 4000) if full else (1000, 2000)
@@ -164,7 +172,7 @@ def _diag_shift(full: bool, jobs: Optional[int] = 1) -> Result:
                        flavor="cluster",
                        schedule=ScheduleOptions(diagonal_shift=shift)))
          for spec, nranks, n in cases for shift in (True, False)],
-        jobs=jobs)
+        jobs=jobs, cache=cache, verbose=verbose)
     rows = []
     for i, (spec, nranks, n) in enumerate(cases):
         on, off = points[2 * i].gflops, points[2 * i + 1].gflops
@@ -187,16 +195,21 @@ EXPERIMENTS: dict[str, Callable[..., Result]] = {
 
 
 def run_experiment(name: str, full: bool = False,
-                   jobs: Optional[int] = 1) -> Result:
+                   jobs: Optional[int] = 1,
+                   cache=None, verbose: bool = False) -> Result:
     """Run one registered experiment; see :data:`EXPERIMENTS` for names.
 
     ``jobs`` is the worker-process count for the experiment's independent
-    simulation points (``None``/``0`` = all CPU cores, ``1`` = serial); the
-    emitted rows are identical regardless.
+    simulation points (``None``/``0`` = all CPU cores, ``1`` = serial).
+    ``cache`` is an optional :class:`~repro.bench.cache.ResultCache`; a
+    cache shared across several ``run_experiment`` calls simulates each
+    point once per process tree, however many figures it appears in (the
+    microbenchmark figures 6-8 carry no matmul points and ignore it).  The
+    emitted rows are identical regardless of either knob.
     """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    return fn(full, jobs=jobs)
+    return fn(full, jobs=jobs, cache=cache, verbose=verbose)

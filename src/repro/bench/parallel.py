@@ -16,6 +16,14 @@ worker count — ``jobs=1`` (the exact old serial path), ``jobs=4``, or one
 worker per point.  ``tests/bench/test_parallel.py`` gates this with a
 serial-vs-parallel property test.
 
+Caching: ``run_points`` accepts a
+:class:`~repro.bench.cache.ResultCache`.  Lookups happen in the parent
+*before* pool submission (hits and in-batch duplicates never reach a
+worker), results are written back on merge, and the returned list is in
+submission order with every field identical to an uncached run — the cache
+changes wall-clock, never results.  ``cache=None`` is the exact uncached
+path: no key is ever computed.
+
 Failure handling:
 
 - A point that raises inside a worker surfaces as
@@ -30,13 +38,19 @@ Failure handling:
 from __future__ import annotations
 
 import os
+import sys
+import time
 import traceback
 import warnings
+from copy import deepcopy
 from dataclasses import dataclass, fields
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..machines.spec import MachineSpec
 from .runner import MatmulPoint, run_matmul
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import ResultCache
 
 __all__ = ["PointSpec", "PointExecutionError", "run_points", "resolve_jobs"]
 
@@ -76,8 +90,10 @@ class PointSpec:
 
     def describe(self) -> str:
         t = ("T" if self.transa else "N") + ("T" if self.transb else "N")
+        n = self.n if self.n is not None else self.m
+        k = self.k if self.k is not None else self.m
         return (f"{self.algorithm}/{self.machine.name} "
-                f"m={self.m} n={self.n} k={self.k} {t} P={self.nranks}")
+                f"m={self.m} n={n} k={k} {t} P={self.nranks}")
 
 
 class PointExecutionError(RuntimeError):
@@ -105,24 +121,29 @@ def _run_point_payload(spec: PointSpec):
 
     Exceptions are converted to ``("err", spec, traceback_text)`` tuples in
     the worker so the parent can re-raise with the *remote* traceback; a
-    pickled exception alone arrives stripped of it.
+    pickled exception alone arrives stripped of it.  Successes carry the
+    worker-side wall seconds for ``--verbose`` progress lines.
     """
+    t0 = time.perf_counter()
     try:
-        return ("ok", spec.run())
-    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        return ("ok", spec.run(), time.perf_counter() - t0)
+    except Exception:  # noqa: BLE001 - shipped to the parent
         return ("err", spec, traceback.format_exc())
 
 
-def _unwrap(payload, results: list) -> None:
-    status = payload[0]
-    if status == "err":
+def _unwrap(payload) -> tuple[MatmulPoint, float]:
+    if payload[0] == "err":
         _, spec, tb = payload
         raise PointExecutionError(spec, tb)
-    results.append(payload[1])
+    return payload[1], payload[2]
 
 
-def _run_serial(specs: Sequence[PointSpec]) -> list[MatmulPoint]:
-    return [spec.run() for spec in specs]
+def _run_serial(specs: Sequence[PointSpec]) -> list[tuple[MatmulPoint, float]]:
+    out = []
+    for spec in specs:
+        t0 = time.perf_counter()
+        out.append((spec.run(), time.perf_counter() - t0))
+    return out
 
 
 def _make_pool(max_workers: int):
@@ -141,29 +162,9 @@ def _make_pool(max_workers: int):
     return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
 
 
-def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
-               ) -> list[MatmulPoint]:
-    """Run independent simulation points, possibly across worker processes.
-
-    Parameters
-    ----------
-    specs:
-        The points to run.  Results come back in the same order.
-    jobs:
-        Worker process count; ``None``/``0`` means ``os.cpu_count()``,
-        ``1`` runs the exact in-process serial path (no pool, no pickling).
-
-    Returns the :class:`MatmulPoint` list in submission order.  Results are
-    bit-identical for every ``jobs`` value: each point's simulation is
-    seeded and self-contained, so process placement cannot affect it.
-
-    Raises :class:`PointExecutionError` for the earliest (in submission
-    order) failing point.  If worker processes cannot be created or the
-    pool breaks mid-run, falls back to serial execution with a
-    :class:`RuntimeWarning`.
-    """
-    specs = list(specs)
-    njobs = resolve_jobs(jobs)
+def _execute(specs: Sequence[PointSpec],
+             njobs: int) -> list[tuple[MatmulPoint, float]]:
+    """Run every spec (pool or serial); returns ``(point, wall_s)`` pairs."""
     if njobs <= 1 or len(specs) <= 1:
         return _run_serial(specs)
 
@@ -175,17 +176,98 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
             NotImplementedError) as exc:
         warnings.warn(
             f"worker processes unavailable ({exc!r}); running "
-            f"{len(specs)} points serially", RuntimeWarning, stacklevel=2)
+            f"{len(specs)} points serially", RuntimeWarning, stacklevel=3)
         return _run_serial(specs)
 
-    results: list[MatmulPoint] = []
+    results: list[tuple[MatmulPoint, float]] = []
     try:
         with pool:
             for payload in pool.map(_run_point_payload, specs):
-                _unwrap(payload, results)
+                results.append(_unwrap(payload))
     except BrokenProcessPool as exc:
         warnings.warn(
             f"worker pool broke mid-run ({exc!r}); rerunning "
-            f"{len(specs)} points serially", RuntimeWarning, stacklevel=2)
+            f"{len(specs)} points serially", RuntimeWarning, stacklevel=3)
         return _run_serial(specs)
+    return results
+
+
+def _emit(index: int, total: int, spec: PointSpec, status: str,
+          wall_s: float) -> None:
+    print(f"[point {index + 1}/{total}] {spec.describe()}: "
+          f"{wall_s:.3f}s ({status})", file=sys.stderr, flush=True)
+
+
+def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
+               cache: Optional["ResultCache"] = None,
+               verbose: bool = False) -> list[MatmulPoint]:
+    """Run independent simulation points, possibly across worker processes.
+
+    Parameters
+    ----------
+    specs:
+        The points to run.  Results come back in the same order.
+    jobs:
+        Worker process count; ``None``/``0`` means ``os.cpu_count()``,
+        ``1`` runs the exact in-process serial path (no pool, no pickling).
+    cache:
+        Optional :class:`~repro.bench.cache.ResultCache`.  Each spec is
+        looked up *before* pool submission; hits and duplicate specs in the
+        same batch never reach a worker, and freshly simulated points are
+        written back on merge.  ``None`` (the default) is the exact
+        uncached execution path — no key is ever computed.
+    verbose:
+        Emit one progress line per point to stderr (index, point label,
+        wall seconds, hit/miss/dedup status).
+
+    Returns the :class:`MatmulPoint` list in submission order.  Results are
+    bit-identical for every ``jobs`` value and for cached vs uncached
+    execution: each point's simulation is seeded and self-contained, so
+    neither process placement nor result provenance can affect it.
+
+    Raises :class:`PointExecutionError` for the earliest (in submission
+    order) failing point.  If worker processes cannot be created or the
+    pool breaks mid-run, falls back to serial execution with a
+    :class:`RuntimeWarning`.
+    """
+    specs = list(specs)
+    njobs = resolve_jobs(jobs)
+    total = len(specs)
+
+    if cache is None:
+        executed = _execute(specs, njobs)
+        if verbose:
+            for i, (point, wall_s) in enumerate(executed):
+                _emit(i, total, specs[i], "run", wall_s)
+        return [point for point, _ in executed]
+
+    results: list[Optional[MatmulPoint]] = [None] * total
+    pending: list[int] = []        # indices that must actually simulate
+    dup_of: dict[int, int] = {}    # duplicate index -> first index, same key
+    first_of_key: dict[str, int] = {}
+    for i, spec in enumerate(specs):
+        key = cache.key(spec)
+        hit = cache.get(spec, key=key, count_miss=False)
+        if hit is not None:
+            results[i] = hit
+            if verbose:
+                _emit(i, total, spec, "hit", 0.0)
+        elif key in first_of_key:
+            dup_of[i] = first_of_key[key]
+            cache.note_dedup()
+        else:
+            first_of_key[key] = i
+            cache.note_miss()
+            pending.append(i)
+
+    for i, (point, wall_s) in zip(pending,
+                                  _execute([specs[i] for i in pending], njobs)):
+        results[i] = point
+        cache.put(specs[i], point)
+        if verbose:
+            _emit(i, total, specs[i], "miss", wall_s)
+    for i, j in sorted(dup_of.items()):
+        results[i] = deepcopy(results[j])
+        if verbose:
+            _emit(i, total, specs[i], "dedup", 0.0)
     return results

@@ -10,6 +10,17 @@ Subcommands
     Square-size sweep comparing algorithms on one platform.
 ``bandwidth`` / ``overlap``
     The §4.1 protocol microbenchmarks.
+``reproduce``
+    Regenerate one or more of the paper's figures/tables (``--experiment
+    fig5,table1`` or ``--experiment all``).
+``cache``
+    Inspect (``stats``) or empty (``clear``) the simulation result cache.
+
+``sweep`` and ``reproduce`` memoise simulation points in a
+content-addressed result cache (default ``~/.cache/repro-srumma``,
+``$REPRO_CACHE_DIR`` or ``--cache-dir`` override) so repeated and shared
+points are simulated once; ``--no-cache`` runs the exact uncached path.
+Results are identical either way; a hit/miss summary goes to stderr.
 
 Examples::
 
@@ -20,6 +31,8 @@ Examples::
         --sizes 600,1000,2000 --algorithms srumma,pdgemm
     python -m repro bandwidth --platform ibm-sp --protocol armci_get
     python -m repro overlap --platform linux-myrinet --protocol mpi
+    python -m repro reproduce --experiment all --jobs 4
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -69,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--algorithms", default="srumma,pdgemm",
                          help=f"comma-separated subset of {ALGORITHMS}")
     _jobs(p_sweep)
+    _cache_flags(p_sweep)
 
     p_bw = sub.add_parser("bandwidth", help="protocol bandwidth microbench")
     _common(p_bw, nranks=False)
@@ -80,15 +94,45 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("armci_get", "mpi"))
 
     p_rep = sub.add_parser(
-        "reproduce", help="regenerate one of the paper's figures/tables")
+        "reproduce", help="regenerate one or more of the paper's "
+                          "figures/tables")
     from .bench.experiments import EXPERIMENTS
-    p_rep.add_argument("--experiment", required=True,
-                       choices=sorted(EXPERIMENTS))
+    p_rep.add_argument("--experiment", required=True, type=_experiment_list,
+                       metavar="NAME[,NAME...]",
+                       help="comma-separated subset of "
+                            f"{{{','.join(sorted(EXPERIMENTS))}}}, or 'all'; "
+                            "points shared between figures are simulated "
+                            "once per run")
     p_rep.add_argument("--full", action="store_true",
                        help="full-scale sweep (slow); default is quick scale")
     _jobs(p_rep)
+    _cache_flags(p_rep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the simulation result cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-srumma)")
 
     return parser
+
+
+def _experiment_list(value: str) -> list[str]:
+    """Parse ``--experiment``: comma-separated names, or ``all``."""
+    from .bench.experiments import EXPERIMENTS
+
+    if value.strip() == "all":
+        return sorted(EXPERIMENTS)
+    names = [n.strip() for n in value.split(",") if n.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("no experiment names given")
+    for name in names:
+        if name not in EXPERIMENTS:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise argparse.ArgumentTypeError(
+                f"unknown experiment {name!r}; known: {known}, all")
+    return names
 
 
 def _common(p: argparse.ArgumentParser, nranks: bool = True) -> None:
@@ -103,6 +147,34 @@ def _jobs(p: argparse.ArgumentParser) -> None:
                    help="worker processes for independent simulation points "
                         "(default: all CPU cores; 1 = serial in-process). "
                         "Results are identical for any value.")
+
+
+def _cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="memoise simulation points in the result cache "
+                        "(--no-cache = the exact uncached execution path; "
+                        "results are identical either way)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-srumma)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one progress line per simulation point "
+                        "(label, wall seconds, cache hit/miss) to stderr")
+
+
+def _make_cache(args):
+    """Build the ResultCache for a sweep/reproduce invocation (or None)."""
+    if not args.cache:
+        return None
+    from .bench.cache import ResultCache
+
+    return ResultCache(directory=args.cache_dir)
+
+
+def _report_cache(cache) -> None:
+    if cache is not None:
+        print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
 
 
 def _cmd_platforms() -> int:
@@ -163,7 +235,9 @@ def _cmd_sweep(args) -> int:
         if alg not in ALGORITHMS:
             print(f"error: unknown algorithm {alg!r}", file=sys.stderr)
             return 2
-    points = sweep(algorithms, spec, sizes, args.nranks, jobs=args.jobs)
+    cache = _make_cache(args)
+    points = sweep(algorithms, spec, sizes, args.nranks, jobs=args.jobs,
+                   cache=cache, verbose=args.verbose)
     rows = []
     for i, size in enumerate(sizes):
         block = points[i * len(algorithms):(i + 1) * len(algorithms)]
@@ -171,6 +245,7 @@ def _cmd_sweep(args) -> int:
     print(format_table(
         ["N", *(f"{a} GF/s" for a in algorithms)], rows,
         title=f"{spec.name}, {args.nranks} CPUs (synthetic payload)"))
+    _report_cache(cache)
     return 0
 
 
@@ -195,13 +270,39 @@ def _cmd_overlap(args) -> int:
 def _cmd_reproduce(args) -> int:
     from .bench.experiments import run_experiment
 
-    title, headers, rows = run_experiment(args.experiment, full=args.full,
-                                          jobs=args.jobs)
+    cache = _make_cache(args)
     scale = "full" if args.full else "quick"
-    print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
+    for name in args.experiment:
+        title, headers, rows = run_experiment(name, full=args.full,
+                                              jobs=args.jobs, cache=cache,
+                                              verbose=args.verbose)
+        print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
     if not args.full:
         print("(quick scale; run with --full, or `pytest benchmarks/`, "
               "for the complete shape-asserted sweep)")
+    _report_cache(cache)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .bench.cache import ResultCache
+
+    cache = ResultCache(directory=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    info = cache.disk_stats()
+    print(f"cache directory : {info['directory']}")
+    print(f"entries         : {info['entries']} ({fmt_bytes(info['bytes'])})")
+    print(f"namespace       : {info['namespace']} (schema + code fingerprint)")
+    if info["namespaces"]:
+        for name, ns in info["namespaces"].items():
+            mark = "  <- current" if ns["current"] else "  (stale)"
+            print(f"  {name}: {ns['entries']} entries, "
+                  f"{fmt_bytes(ns['bytes'])}{mark}")
+    else:
+        print("  (empty)")
     return 0
 
 
@@ -220,6 +321,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_overlap(args)
         if args.command == "reproduce":
             return _cmd_reproduce(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -55,21 +55,49 @@ def _noop() -> None:
     return None
 
 
-def _section_segments(array_shape, idx: tuple) -> int:
-    """Number of contiguous memory segments a row-major section spans.
+def _sel_span(dim: int, sel) -> tuple[int, int, int, int]:
+    """(count, step, lowest index, highest index) of one index expression."""
+    if isinstance(sel, slice):
+        r = range(*sel.indices(dim))
+        if len(r) == 0:
+            return 0, 1, 0, -1
+        return len(r), r.step, min(r[0], r[-1]), max(r[0], r[-1])
+    i = sel if sel >= 0 else sel + dim
+    return 1, 1, i, i  # integer index
 
-    A 2D section is one segment when it covers the full width of the
-    stored array (whole rows are contiguous); otherwise one per row.
-    1D sections and full-array accesses are always contiguous.
+
+def _section_segments(array_shape, idx: tuple) -> int:
+    """Number of maximal contiguous memory intervals a row-major section
+    spans, floored at 1 (even an empty get issues one descriptor).
+
+    This is exactly the numpy-derived oracle gated by
+    ``tests/comm/test_armci_sections.py``: sort the section's flat
+    addresses and count runs of consecutive ones.  A unit-|step| column
+    range is one interval per row; a |step| > 1 stride splits every
+    element into its own.  Row boundaries merge intervals only when the
+    row range is dense (|step| = 1) and the column selection touches both
+    edges of the stored row -- then each row's tail abuts the next row's
+    head.  Direction never matters: a negative step touches the same
+    addresses as its positive mirror.
     """
-    if len(array_shape) < 2 or len(idx) < 2:
+    if not array_shape:
         return 1
-    rows = len(range(*idx[0].indices(array_shape[0]))) if isinstance(idx[0], slice) else 1
-    if isinstance(idx[1], slice):
-        c0, c1, step = idx[1].indices(array_shape[1])
-        if step == 1 and c0 == 0 and c1 == array_shape[1]:
-            return 1
-    return max(1, rows)
+    if len(array_shape) == 1:
+        n, step, _, _ = _sel_span(array_shape[0],
+                                  idx[0] if idx else slice(None))
+        return n if n > 1 and abs(step) > 1 else 1
+    nr, rs, _, _ = _sel_span(array_shape[0],
+                             idx[0] if len(idx) >= 1 else slice(None))
+    nc, cs, clo, chi = _sel_span(array_shape[1],
+                                 idx[1] if len(idx) >= 2 else slice(None))
+    if nr == 0 or nc == 0:
+        return 1
+    per_row = 1 if (nc == 1 or abs(cs) == 1) else nc
+    segments = nr * per_row
+    if nr > 1 and abs(rs) == 1 and clo == 0 and chi == array_shape[1] - 1:
+        # Each row's last interval abuts the next row's first one.
+        segments = 1 if per_row == 1 else segments - (nr - 1)
+    return segments
 
 
 class ArmciRuntime:

@@ -1,0 +1,345 @@
+"""Tests for the content-addressed simulation result cache.
+
+Load-bearing invariants:
+
+- the cache changes wall-clock, never results: cached and freshly
+  simulated points are field-identical (tuple types included);
+- keys are canonical (square defaults normalized, floats hex-rendered,
+  sorted-key JSON) and stable across sessions and Python versions;
+- a damaged disk entry is discarded and recomputed, never crashed on;
+- ``cache=None`` is the exact uncached execution path;
+- a point shared by several figures is simulated exactly once per
+  process tree (hit/miss counters gate this).
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.bench import cache as cache_mod
+from repro.bench.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    canonical_spec,
+    code_fingerprint,
+    decode_point,
+    default_cache_dir,
+    encode_point,
+    point_key,
+)
+from repro.bench.parallel import PointSpec, run_points
+from repro.bench.runner import MatmulPoint, run_matmul
+from repro.core.srumma import SrummaOptions
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+from repro.machines.spec import CpuSpec, MachineSpec, MemorySpec, NetworkSpec
+
+
+def _fields(points):
+    return [dataclasses.asdict(p) for p in points]
+
+
+# -- key anatomy --------------------------------------------------------------
+
+def test_key_normalizes_square_defaults():
+    # PointSpec(m=32) and PointSpec(m=32, n=32, k=32) are the same
+    # simulation, so they must share a key (this is what dedupes a
+    # Table 1 case against a Fig. 10 sweep point).
+    assert point_key(PointSpec("srumma", LINUX_MYRINET, 4, 32)) == \
+        point_key(PointSpec("srumma", LINUX_MYRINET, 4, 32, 32, 32))
+
+
+BASE = PointSpec("srumma", LINUX_MYRINET, 4, 32)
+
+
+@pytest.mark.parametrize("other", [
+    PointSpec("pdgemm", LINUX_MYRINET, 4, 32),
+    PointSpec("srumma", SGI_ALTIX, 4, 32),
+    PointSpec("srumma", LINUX_MYRINET.with_network(zero_copy=False), 4, 32),
+    PointSpec("srumma", LINUX_MYRINET, 8, 32),
+    PointSpec("srumma", LINUX_MYRINET, 4, 48),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, 32, 48),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, transa=True),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, payload="real"),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, verify=True),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, seed=1),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32, nb=16),
+    PointSpec("srumma", LINUX_MYRINET, 4, 32,
+              options=SrummaOptions(flavor="cluster", nonblocking=False)),
+])
+def test_key_distinguishes_every_spec_field(other):
+    assert point_key(other) != point_key(BASE)
+
+
+def test_golden_key_is_stable_across_sessions_and_python_versions():
+    # The key must only depend on the canonical spec content — hex floats,
+    # sorted-key compact JSON — never on dict order, repr details, or the
+    # Python version (3.10-3.12).  If this golden value moves, the key
+    # anatomy changed: bump CACHE_SCHEMA_VERSION.
+    golden_machine = MachineSpec(
+        name="golden", cpus_per_node=2,
+        cpu=CpuSpec(flops=1e9),
+        network=NetworkSpec(latency=1e-5, bandwidth=1e8),
+        memory=MemorySpec(copy_bandwidth=1e9),
+    )
+    spec = PointSpec("srumma", golden_machine, 16, 2000, seed=3)
+    assert point_key(spec) == (
+        "6f64d7d166d51628a9f943c822908c670bdfb5690032ca95947d92269aa30a74")
+
+
+def test_canonical_spec_renders_floats_as_hex():
+    blob = canonical_spec(BASE)
+    assert blob["machine"]["cpu"]["flops"] == float.hex(LINUX_MYRINET.cpu.flops)
+    assert blob["schema"] == CACHE_SCHEMA_VERSION
+
+
+def test_code_fingerprint_is_hex_and_memoized():
+    fp = code_fingerprint()
+    assert len(fp) == 64 and int(fp, 16) >= 0
+    assert code_fingerprint() is fp  # lru_cache: computed once per process
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+# -- payload round-trip -------------------------------------------------------
+
+def test_point_roundtrip_is_field_identical():
+    point = run_matmul("srumma", LINUX_MYRINET, 4, 24)
+    back = decode_point(json.loads(json.dumps(encode_point(point))))
+    assert dataclasses.asdict(back) == dataclasses.asdict(point)
+    # Exact float round-trip (json uses repr: shortest-exact in CPython).
+    assert back.gflops == point.gflops
+    assert back.elapsed == point.elapsed
+    # Tuple-ness survives: extra['grid'] must not decay to a list.
+    assert isinstance(back.extra["grid"], tuple)
+
+
+def test_decode_rejects_non_matmul_payloads():
+    with pytest.raises(ValueError, match="MatmulPoint"):
+        decode_point({"algorithm": "srumma"})
+
+
+def test_uncacheable_extra_is_skipped_not_fatal(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = run_matmul("srumma", LINUX_MYRINET, 4, 24)
+    point.extra["weird"] = object()
+    cache.put(BASE, point)
+    assert cache.stats.uncacheable == 1
+    assert cache.stats.writes == 0
+    assert cache.get(BASE) is None
+
+
+# -- the two tiers ------------------------------------------------------------
+
+def test_memory_and_disk_hits(tmp_path):
+    spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
+    cache = ResultCache(tmp_path)
+    assert cache.get(spec) is None
+    point = spec.run()
+    cache.put(spec, point)
+
+    hit = cache.get(spec)
+    assert _fields([hit]) == _fields([point])
+    assert cache.stats.memory_hits == 1 and cache.stats.misses == 1
+
+    # A fresh instance (fresh process, conceptually) hits the disk tier.
+    other = ResultCache(tmp_path)
+    hit2 = other.get(spec)
+    assert _fields([hit2]) == _fields([point])
+    assert other.stats.disk_hits == 1
+    assert isinstance(hit2.extra["grid"], tuple)
+
+
+def test_returned_points_are_not_aliased(tmp_path):
+    spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
+    cache = ResultCache(tmp_path, use_disk=False)
+    cache.put(spec, spec.run())
+    first = cache.get(spec)
+    first.extra["grid"] = ("poisoned",)
+    assert cache.get(spec).extra["grid"] != ("poisoned",)
+
+
+def test_memory_lru_eviction(tmp_path):
+    cache = ResultCache(tmp_path, memory_entries=2, use_disk=False)
+    specs = [PointSpec("srumma", LINUX_MYRINET, 2, m) for m in (8, 12, 16)]
+    point = specs[0].run()
+    for s in specs:
+        cache.put(s, point)
+    assert len(cache._memory) == 2
+    assert cache.get(specs[0]) is None      # evicted (oldest)
+    assert cache.get(specs[2]) is not None  # newest survives
+
+
+def test_corrupt_disk_entry_is_discarded_and_recomputed(tmp_path):
+    spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
+    writer = ResultCache(tmp_path)
+    writer.put(spec, spec.run())
+    [entry] = list(tmp_path.rglob("*.json"))
+
+    for damage in (b"{ not json", b"", b'{"entry_schema": 999}',
+                   json.dumps({"entry_schema": CACHE_SCHEMA_VERSION,
+                               "key": "0" * 64, "point": {}}).encode()):
+        writer.put(spec, spec.run())  # restore
+        entry.write_bytes(damage)
+        reader = ResultCache(tmp_path)
+        assert reader.get(spec) is None
+        assert reader.stats.corrupt_discarded == 1
+        assert not entry.exists(), "damaged entry must be unlinked"
+        # ...and the point is recomputable + cacheable again.
+        reader.put(spec, spec.run())
+        assert ResultCache(tmp_path).get(spec) is not None
+
+
+def test_code_fingerprint_change_invalidates_namespace(tmp_path, monkeypatch):
+    spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
+    cache = ResultCache(tmp_path)
+    cache.put(spec, spec.run())
+    old_namespace = cache.namespace
+    monkeypatch.setattr(cache_mod, "code_fingerprint",
+                        lambda: "f" * 64)
+    stale_reader = ResultCache(tmp_path)
+    assert stale_reader.namespace != old_namespace
+    assert stale_reader.get(spec) is None  # old namespace never consulted
+
+
+def test_disk_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for m in (8, 12):
+        spec = PointSpec("srumma", LINUX_MYRINET, 2, m)
+        cache.put(spec, spec.run())
+    info = cache.disk_stats()
+    assert info["entries"] == 2 and info["bytes"] > 0
+    assert info["namespaces"][cache.namespace]["current"]
+    assert cache.clear() == 2
+    assert cache.disk_stats()["entries"] == 0
+    # clear() also wipes the memory tier.
+    assert cache.get(PointSpec("srumma", LINUX_MYRINET, 2, 8)) is None
+
+
+def test_disk_write_errors_are_counted_not_raised(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    monkeypatch.setattr(os, "replace",
+                        lambda *a, **k: (_ for _ in ()).throw(OSError("disk")))
+    spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
+    cache.put(spec, spec.run())
+    assert cache.stats.write_errors == 1
+    assert cache.get(spec) is not None  # memory tier still has it
+
+
+# -- run_points integration ---------------------------------------------------
+
+SWEEP_SPECS = [PointSpec(alg, LINUX_MYRINET, 4, m)
+               for m in (16, 24) for alg in ("srumma", "pdgemm")]
+
+
+def test_cached_run_points_is_field_identical_to_uncached(tmp_path):
+    uncached = run_points(SWEEP_SPECS, jobs=1)
+    cache = ResultCache(tmp_path)
+    cold = run_points(SWEEP_SPECS, jobs=1, cache=cache)
+    warm = run_points(SWEEP_SPECS, jobs=1, cache=cache)
+    fresh = run_points(SWEEP_SPECS, jobs=1, cache=ResultCache(tmp_path))
+    assert _fields(cold) == _fields(uncached)
+    assert _fields(warm) == _fields(uncached)
+    assert _fields(fresh) == _fields(uncached)
+    assert cache.stats.misses == len(SWEEP_SPECS)
+    assert cache.stats.memory_hits == len(SWEEP_SPECS)
+
+
+def test_duplicate_specs_in_one_batch_simulate_once(tmp_path):
+    cache = ResultCache(tmp_path)
+    dup = [SWEEP_SPECS[0], SWEEP_SPECS[1], SWEEP_SPECS[0],
+           PointSpec("srumma", LINUX_MYRINET, 4, 16, 16, 16)]  # = SPECS[0]
+    points = run_points(dup, jobs=1, cache=cache)
+    assert cache.stats.misses == 2       # only the two unique points ran
+    assert cache.stats.deduped == 2
+    assert _fields([points[0]]) == _fields([points[2]]) == _fields([points[3]])
+
+
+def test_shared_point_across_figures_simulated_once(tmp_path):
+    # Two figure-style batches sharing a point (the fig10-full sweep point
+    # and the table1-full case express the same simulation with different
+    # spec spellings); one cache per "process tree" -> one simulation.
+    fig_a = [PointSpec(alg, LINUX_MYRINET, 4, 24) for alg in ("srumma", "pdgemm")]
+    fig_b = [PointSpec("srumma", LINUX_MYRINET, 4, 24, 24, 24),  # shared
+             PointSpec("srumma", LINUX_MYRINET, 4, 32)]
+    cache = ResultCache(tmp_path)
+    run_points(fig_a, jobs=1, cache=cache)
+    run_points(fig_b, jobs=1, cache=cache)
+    unique = {point_key(s) for s in fig_a + fig_b}
+    assert cache.stats.misses == len(unique) == 3
+    assert cache.stats.hits == 1
+
+
+def test_full_scale_fig10_and_table1_really_share_points():
+    # The dedup above is not hypothetical: these exact spec spellings come
+    # from _fig10 (full) and _table1 (full) in bench/experiments.py.
+    from repro.machines import IBM_SP
+
+    fig10_spelling = point_key(PointSpec("srumma", LINUX_MYRINET, 128, 12000))
+    table1_spelling = point_key(
+        PointSpec("srumma", LINUX_MYRINET, 128, 12000, 12000, 12000))
+    assert fig10_spelling == table1_spelling
+    assert point_key(PointSpec("pdgemm", IBM_SP, 256, 8000)) == \
+        point_key(PointSpec("pdgemm", IBM_SP, 256, 8000, 8000, 8000))
+
+
+def test_run_points_without_cache_never_touches_the_cache(tmp_path, monkeypatch):
+    # cache=None must be the exact pre-cache execution path: no key is
+    # computed, nothing is read or written.
+    monkeypatch.setattr(cache_mod, "point_key",
+                        lambda spec: pytest.fail("point_key called"))
+    points = run_points(SWEEP_SPECS[:2], jobs=1, cache=None)
+    assert len(points) == 2
+    assert not (tmp_path / "repro-cache").exists()
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cache_results_deterministic_for_any_worker_count(tmp_path, jobs):
+    cache = ResultCache(tmp_path / f"jobs{jobs}")
+    got = run_points(SWEEP_SPECS, jobs=jobs, cache=cache)
+    assert _fields(got) == _fields(run_points(SWEEP_SPECS, jobs=1))
+
+
+def test_partially_warm_batch_mixes_hits_and_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_points(SWEEP_SPECS[:2], jobs=1, cache=cache)
+    got = run_points(SWEEP_SPECS, jobs=1, cache=cache)
+    assert _fields(got) == _fields(run_points(SWEEP_SPECS, jobs=1))
+    assert cache.stats.memory_hits == 2
+    assert cache.stats.misses == len(SWEEP_SPECS)
+
+
+def test_verbose_progress_lines(tmp_path, capsys):
+    cache = ResultCache(tmp_path)
+    run_points(SWEEP_SPECS[:2], jobs=1, cache=cache, verbose=True)
+    run_points(SWEEP_SPECS[:2], jobs=1, cache=cache, verbose=True)
+    err = capsys.readouterr().err
+    assert err.count("(miss)") == 2
+    assert err.count("(hit)") == 2
+    assert "[point 1/2] srumma/linux-myrinet m=16 n=16 k=16 NN P=4:" in err
+
+
+def test_verbose_without_cache(capsys):
+    run_points(SWEEP_SPECS[:2], jobs=1, verbose=True)
+    err = capsys.readouterr().err
+    assert err.count("(run)") == 2
+
+
+# -- experiment-level integration --------------------------------------------
+
+def test_experiment_rerun_hits_cache_entirely(tmp_path):
+    from repro.bench.experiments import run_experiment
+
+    cache = ResultCache(tmp_path)
+    first = run_experiment("fig5", cache=cache)
+    misses = cache.stats.misses
+    assert misses > 0
+    second = run_experiment("fig5", cache=cache)
+    assert second == first
+    assert cache.stats.misses == misses  # every point served from cache
+    assert cache.stats.memory_hits == misses
+    assert run_experiment("fig5") == first  # and identical to uncached

@@ -1,0 +1,80 @@
+"""Property tests for ``_section_segments`` against a numpy-derived oracle.
+
+PR 1 made ``_section_segments`` a hot-loop input — the SRUMMA planner calls
+it for every remote operand and the result feeds the per-segment
+``sg_overhead`` charge — so its closed form must match real row-major
+memory layout exactly.  The oracle here materialises the section's flat
+addresses with numpy and counts maximal runs of consecutive ones; the
+closed form must agree on every shape/index combination hypothesis can
+construct (strided, negative-step, single-column, integer-indexed, and
+empty sections), modulo the floor of 1 (even an empty get issues one
+descriptor).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.armci import _section_segments
+
+
+def numpy_segments(shape, idx) -> int:
+    """Oracle: maximal runs of consecutive flat addresses in the section."""
+    arr = np.arange(int(np.prod(shape))).reshape(shape)
+    flat = np.sort(np.asarray(arr[idx]).ravel())
+    if flat.size == 0:
+        return 0
+    return int(np.count_nonzero(np.diff(flat) != 1) + 1)
+
+
+def _slices(dim: int):
+    bound = st.none() | st.integers(-dim - 2, dim + 2)
+    step = st.none() | st.sampled_from([-3, -2, -1, 1, 2, 3])
+    return st.builds(slice, bound, bound, step)
+
+
+def _indexers(dim: int):
+    return st.integers(0, dim - 1) | _slices(dim)
+
+
+@st.composite
+def shape_and_index(draw):
+    ndim = draw(st.integers(1, 2))
+    shape = tuple(draw(st.integers(1, 12)) for _ in range(ndim))
+    nidx = draw(st.integers(1, ndim))
+    idx = tuple(draw(_indexers(shape[d])) for d in range(nidx))
+    return shape, idx
+
+
+@settings(max_examples=400, deadline=None)
+@given(shape_and_index())
+def test_section_segments_matches_numpy_oracle(case):
+    shape, idx = case
+    assert _section_segments(shape, idx) == max(1, numpy_segments(shape, idx))
+
+
+@pytest.mark.parametrize("shape,idx,expected", [
+    # Strided columns: every element is its own memory interval.
+    ((8, 8), (slice(0, 4), slice(0, 8, 2)), 16),
+    # Strided rows of full width: rows no longer merge.
+    ((8, 8), (slice(0, 8, 2), slice(None)), 4),
+    # Negative steps touch the same addresses as their positive mirror.
+    ((6, 8), (slice(None, None, -1), slice(None, None, -1)), 1),
+    ((8, 8), (slice(6, 1, -1), slice(0, 5)), 5),
+    # Single column of a wide array: one interval per row.
+    ((8, 8), (slice(None), slice(3, 4)), 8),
+    ((8, 8), (slice(None), 3), 8),
+    # A one-column array's column IS contiguous.
+    ((8, 1), (slice(None), slice(None)), 1),
+    # Empty sections floor at one descriptor.
+    ((5, 5), (slice(3, 3), slice(0, 2)), 1),
+    ((5, 5), (slice(0, 2), slice(4, 1)), 1),
+    # 1D: contiguous vs strided.
+    ((100,), (slice(10, 50),), 1),
+    ((10,), (slice(0, 10, 3),), 4),
+    ((10,), (slice(None, None, -1),), 1),
+])
+def test_section_segments_named_cases(shape, idx, expected):
+    assert _section_segments(shape, idx) == expected
+    assert expected == max(1, numpy_segments(shape, idx))

@@ -1,0 +1,14 @@
+"""Shared test fixtures.
+
+Every test gets an isolated result-cache directory: the CLI's
+``sweep``/``reproduce`` cache by default, and tests must neither pollute
+the developer's real ``~/.cache/repro-srumma`` nor observe entries left by
+previous test runs.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -66,8 +66,10 @@ def test_sweep_unknown_algorithm_errors(capsys):
 
 
 def test_sweep_jobs_values_produce_identical_output(capsys):
+    # --no-cache so the second invocation really exercises the executor
+    # rather than replaying the first invocation's cache entries.
     argv = ["sweep", "--platform", "linux-myrinet", "--nranks", "4",
-            "--sizes", "24,32", "--algorithms", "srumma,pdgemm"]
+            "--sizes", "24,32", "--algorithms", "srumma,pdgemm", "--no-cache"]
     assert main([*argv, "--jobs", "1"]) == 0
     serial_out = capsys.readouterr().out
     assert main([*argv, "--jobs", "2"]) == 0
@@ -75,9 +77,85 @@ def test_sweep_jobs_values_produce_identical_output(capsys):
     assert parallel_out == serial_out
 
 
+def test_sweep_cached_cold_warm_nocache_outputs_identical(capsys):
+    argv = ["sweep", "--platform", "linux-myrinet", "--nranks", "4",
+            "--sizes", "24,32", "--algorithms", "srumma,pdgemm", "--jobs", "1"]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert main([*argv, "--no-cache"]) == 0
+    uncached = capsys.readouterr()
+    assert cold.out == warm.out == uncached.out
+    # The stderr summary shows the warm run was served from the cache...
+    assert "misses=4" in cold.err
+    assert "misses=0" in warm.err and "disk=4" in warm.err
+    # ...and --no-cache reports nothing at all.
+    assert "[cache]" not in uncached.err
+
+
+def test_sweep_verbose_progress_lines(capsys):
+    argv = ["sweep", "--platform", "linux-myrinet", "--nranks", "4",
+            "--sizes", "24", "--algorithms", "srumma", "--jobs", "1",
+            "--verbose"]
+    assert main(argv) == 0
+    assert "(miss)" in capsys.readouterr().err
+    assert main(argv) == 0
+    assert "(hit)" in capsys.readouterr().err
+
+
 def test_reproduce_accepts_jobs(capsys):
     assert main(["reproduce", "--experiment", "fig5", "--jobs", "1"]) == 0
     assert "Fig. 5" in capsys.readouterr().out
+
+
+def test_reproduce_multiple_experiments_in_one_run(capsys):
+    assert main(["reproduce", "--experiment", "fig5,fig6",
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out and "Fig. 6" in out
+
+
+def test_reproduce_experiment_all_parses():
+    from repro.bench.experiments import EXPERIMENTS
+    from repro.cli import _experiment_list
+
+    assert _experiment_list("all") == sorted(EXPERIMENTS)
+    assert _experiment_list("fig5, table1") == ["fig5", "table1"]
+
+
+def test_reproduce_second_run_hits_cache(capsys):
+    argv = ["reproduce", "--experiment", "fig5", "--jobs", "1"]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "misses=4" in cold.err
+    assert "misses=0" in warm.err
+
+
+def test_reproduce_no_cache_matches_cached_output(capsys):
+    assert main(["reproduce", "--experiment", "fig9", "--jobs", "1"]) == 0
+    cached = capsys.readouterr()
+    assert main(["reproduce", "--experiment", "fig9", "--jobs", "1",
+                 "--no-cache"]) == 0
+    uncached = capsys.readouterr()
+    assert uncached.out == cached.out
+    assert "[cache]" not in uncached.err
+
+
+def test_cache_stats_and_clear(capsys):
+    assert main(["reproduce", "--experiment", "fig5", "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries         : 4" in out
+    assert "v1-" in out
+    assert main(["cache", "clear"]) == 0
+    assert "removed 4 cached result(s)" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "entries         : 0" in capsys.readouterr().out
 
 
 @pytest.mark.parametrize("algorithm", ["summa", "cannon", "fox"])
