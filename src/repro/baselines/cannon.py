@@ -120,7 +120,7 @@ def cannon_rank(ctx: RankContext, s: int, m: int, n: int, k: int,
 def cannon_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
                     s: Optional[int] = None, payload: str = "real",
                     verify: bool = True, seed: int = 0,
-                    interference=None) -> CannonResult:
+                    interference=None, faults=None) -> CannonResult:
     """Run ``C = A @ B`` with Cannon's algorithm on a simulated machine.
 
     ``s`` is the grid side; defaults to ``floor(sqrt(nranks))`` (ranks beyond
@@ -169,7 +169,8 @@ def cannon_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
         yield from cannon_rank(ctx, s, m, n, k, a_blk, b_blk, c_blk)
         spans[ctx.rank] = (t0, ctx.now)
 
-    run = run_parallel(spec, nranks, rank_fn, interference=interference)
+    run = run_parallel(spec, nranks, rank_fn, interference=interference,
+                       faults=faults)
     elapsed = (max(sp[1] for sp in spans.values())
                - min(sp[0] for sp in spans.values()))
     gflops = 2.0 * m * n * k / elapsed / 1e9 if elapsed > 0 else float("inf")

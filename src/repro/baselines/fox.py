@@ -102,7 +102,7 @@ def fox_rank(ctx: RankContext, s: int, m: int, n: int, k: int,
 def fox_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
                  s: Optional[int] = None, payload: str = "real",
                  verify: bool = True, seed: int = 0,
-                 interference=None) -> FoxResult:
+                 interference=None, faults=None) -> FoxResult:
     """Run ``C = A @ B`` with Fox's algorithm on a simulated machine."""
     import math
 
@@ -145,7 +145,8 @@ def fox_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
         yield from fox_rank(ctx, s, m, n, k, a_blk, b_blk, c_blk)
         spans[ctx.rank] = (t0, ctx.now)
 
-    run = run_parallel(spec, nranks, rank_fn, interference=interference)
+    run = run_parallel(spec, nranks, rank_fn, interference=interference,
+                       faults=faults)
     elapsed = (max(sp[1] for sp in spans.values())
                - min(sp[0] for sp in spans.values()))
     gflops = 2.0 * m * n * k / elapsed / 1e9 if elapsed > 0 else float("inf")

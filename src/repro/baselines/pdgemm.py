@@ -276,7 +276,7 @@ def pdgemm_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
                     p: Optional[int] = None, q: Optional[int] = None,
                     nb: int = DEFAULT_NB, payload: str = "real",
                     verify: bool = True, seed: int = 0,
-                    interference=None) -> PdgemmResult:
+                    interference=None, faults=None) -> PdgemmResult:
     """Run ``C = op(A) @ op(B)`` with the pdgemm stand-in."""
     from ..comm.base import run_parallel
 
@@ -314,7 +314,8 @@ def pdgemm_multiply(spec: MachineSpec, nranks: int, m: int, n: int, k: int,
                                a_loc, b_loc, c_loc)
         spans[ctx.rank] = (t0, ctx.now)
 
-    run = run_parallel(spec, nranks, rank_fn, interference=interference)
+    run = run_parallel(spec, nranks, rank_fn, interference=interference,
+                       faults=faults)
     elapsed = (max(sp[1] for sp in spans.values())
                - min(sp[0] for sp in spans.values()))
     gflops = 2.0 * m * n * k / elapsed / 1e9 if elapsed > 0 else float("inf")

@@ -69,9 +69,11 @@ __all__ = [
     "point_key",
 ]
 
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 """Bump when the key anatomy or the entry format changes; old disk
-namespaces become unreachable (and reapable) rather than misread."""
+namespaces become unreachable (and reapable) rather than misread.
+History: 2 added the ``faults`` field (fault-injection plans) to the key
+anatomy, so degraded runs can never collide with healthy ones."""
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -150,6 +152,11 @@ def canonical_spec(spec: "PointSpec") -> dict:
         "nb": spec.nb,
         "seed": spec.seed,
         "interference": _canon(spec.interference),
+        # FaultPlan is nested frozen dataclasses all the way down, so
+        # _canon walks it field-by-field: every window edge, slowdown
+        # factor, probability, and retry knob lands in the key.  A
+        # degraded run can therefore never alias a healthy one (None).
+        "faults": _canon(spec.faults),
     }
 
 

@@ -29,10 +29,17 @@ Failure handling:
 - A point that raises inside a worker surfaces as
   :class:`PointExecutionError` carrying the originating spec *and* the
   worker-side traceback (a bare pickled exception would lose it).
-- When worker processes are unavailable — restricted sandboxes that forbid
-  ``fork``/``spawn``, or a pool that breaks mid-run — the executor falls
-  back to in-process serial execution with a :class:`RuntimeWarning`, so
-  sweeps still complete everywhere.
+- When worker processes cannot be created — restricted sandboxes that
+  forbid ``fork``/``spawn`` — the executor falls back to in-process serial
+  execution with a :class:`RuntimeWarning`, so sweeps still complete
+  everywhere.
+- When a worker process *dies* mid-run (segfault, OOM kill), the broken
+  pool is torn down and the point that was being collected is retried
+  exactly once in a fresh pool; only a second death raises
+  :class:`PointExecutionError` with the originating spec.
+- ``point_timeout`` bounds the wall-clock wait for each point's result;
+  exceeding it raises :class:`PointExecutionError` without waiting for the
+  stuck worker.  The serial path is unchanged by either mechanism.
 """
 
 from __future__ import annotations
@@ -80,6 +87,7 @@ class PointSpec:
     nb: Optional[int] = None
     seed: int = 0
     interference: Any = None
+    faults: Any = None
 
     def run(self) -> MatmulPoint:
         """Execute this point in the current process."""
@@ -162,33 +170,66 @@ def _make_pool(max_workers: int):
     return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
 
 
-def _execute(specs: Sequence[PointSpec],
-             njobs: int) -> list[tuple[MatmulPoint, float]]:
-    """Run every spec (pool or serial); returns ``(point, wall_s)`` pairs."""
+def _execute(specs: Sequence[PointSpec], njobs: int,
+             point_timeout: Optional[float] = None,
+             ) -> list[tuple[MatmulPoint, float]]:
+    """Run every spec (pool or serial); returns ``(point, wall_s)`` pairs.
+
+    Pool hardening: results are collected in submission order with
+    ``point_timeout`` bounding each wait; a worker death
+    (``BrokenProcessPool``) tears the pool down and retries the affected
+    point (and everything after it) once in a fresh pool.  Every error
+    path shuts the pool down with ``wait=False`` — blocking on a hung or
+    dead worker is exactly what the timeout exists to avoid.
+    """
     if njobs <= 1 or len(specs) <= 1:
         return _run_serial(specs)
 
+    from concurrent.futures import TimeoutError as FuturesTimeout
     from concurrent.futures.process import BrokenProcessPool
 
-    try:
-        pool = _make_pool(min(njobs, len(specs)))
-    except (OSError, PermissionError, ValueError, ImportError,
-            NotImplementedError) as exc:
-        warnings.warn(
-            f"worker processes unavailable ({exc!r}); running "
-            f"{len(specs)} points serially", RuntimeWarning, stacklevel=3)
-        return _run_serial(specs)
-
     results: list[tuple[MatmulPoint, float]] = []
-    try:
-        with pool:
-            for payload in pool.map(_run_point_payload, specs):
+    retried: set[int] = set()
+    while len(results) < len(specs):
+        start = len(results)
+        try:
+            pool = _make_pool(min(njobs, len(specs) - start))
+        except (OSError, PermissionError, ValueError, ImportError,
+                NotImplementedError) as exc:
+            warnings.warn(
+                f"worker processes unavailable ({exc!r}); running "
+                f"{len(specs) - start} points serially",
+                RuntimeWarning, stacklevel=3)
+            results.extend(_run_serial(specs[start:]))
+            return results
+        futures = [pool.submit(_run_point_payload, spec)
+                   for spec in specs[start:]]
+        try:
+            for offset, fut in enumerate(futures):
+                i = start + offset
+                try:
+                    payload = fut.result(timeout=point_timeout)
+                except FuturesTimeout:
+                    raise PointExecutionError(
+                        specs[i],
+                        f"no result within the per-point timeout of "
+                        f"{point_timeout:g}s (worker abandoned, not joined)",
+                    ) from None
+                except BrokenProcessPool as exc:
+                    if i in retried:
+                        raise PointExecutionError(
+                            specs[i],
+                            f"worker process died twice running this point "
+                            f"({exc!r})") from exc
+                    retried.add(i)
+                    warnings.warn(
+                        f"worker pool broke at point {i + 1}/{len(specs)} "
+                        f"({specs[i].describe()}); retrying once in a "
+                        f"fresh pool", RuntimeWarning, stacklevel=4)
+                    break  # outer loop resubmits from point i in a new pool
                 results.append(_unwrap(payload))
-    except BrokenProcessPool as exc:
-        warnings.warn(
-            f"worker pool broke mid-run ({exc!r}); rerunning "
-            f"{len(specs)} points serially", RuntimeWarning, stacklevel=3)
-        return _run_serial(specs)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
     return results
 
 
@@ -200,7 +241,8 @@ def _emit(index: int, total: int, spec: PointSpec, status: str,
 
 def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
                cache: Optional["ResultCache"] = None,
-               verbose: bool = False) -> list[MatmulPoint]:
+               verbose: bool = False,
+               point_timeout: Optional[float] = None) -> list[MatmulPoint]:
     """Run independent simulation points, possibly across worker processes.
 
     Parameters
@@ -219,6 +261,11 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
     verbose:
         Emit one progress line per point to stderr (index, point label,
         wall seconds, hit/miss/dedup status).
+    point_timeout:
+        Optional wall-clock bound (seconds) on collecting each point's
+        result from the pool; exceeding it raises
+        :class:`PointExecutionError` for that point.  Ignored on the
+        serial path (``jobs=1``), which stays exactly the old behaviour.
 
     Returns the :class:`MatmulPoint` list in submission order.  Results are
     bit-identical for every ``jobs`` value and for cached vs uncached
@@ -226,16 +273,17 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
     neither process placement nor result provenance can affect it.
 
     Raises :class:`PointExecutionError` for the earliest (in submission
-    order) failing point.  If worker processes cannot be created or the
-    pool breaks mid-run, falls back to serial execution with a
-    :class:`RuntimeWarning`.
+    order) failing point.  If worker processes cannot be created, falls
+    back to serial execution with a :class:`RuntimeWarning`; if a worker
+    *dies* mid-run, the affected point is retried once in a fresh pool
+    before the error is raised.
     """
     specs = list(specs)
     njobs = resolve_jobs(jobs)
     total = len(specs)
 
     if cache is None:
-        executed = _execute(specs, njobs)
+        executed = _execute(specs, njobs, point_timeout)
         if verbose:
             for i, (point, wall_s) in enumerate(executed):
                 _emit(i, total, specs[i], "run", wall_s)
@@ -261,7 +309,8 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
             pending.append(i)
 
     for i, (point, wall_s) in zip(pending,
-                                  _execute([specs[i] for i in pending], njobs)):
+                                  _execute([specs[i] for i in pending], njobs,
+                                           point_timeout)):
         results[i] = point
         cache.put(specs[i], point)
         if verbose:

@@ -63,7 +63,7 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
                payload: str = "synthetic", verify: bool = False,
                options: Optional[SrummaOptions] = None,
                nb: Optional[int] = None, seed: int = 0,
-               interference=None) -> MatmulPoint:
+               interference=None, faults=None) -> MatmulPoint:
     """Run one algorithm at one configuration; returns a :class:`MatmulPoint`.
 
     ``n``/``k`` default to ``m`` (square).  Benchmarks default to synthetic
@@ -76,13 +76,14 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
         res = srumma_multiply(spec, nranks, m, n, k, transa=transa,
                               transb=transb, options=options, payload=payload,
                               verify=verify, seed=seed,
-                              interference=interference)
+                              interference=interference, faults=faults)
         extra = {"grid": res.grid}
     elif algorithm == "pdgemm":
         res = pdgemm_multiply(spec, nranks, m, n, k, transa=transa,
                               transb=transb, payload=payload, verify=verify,
                               nb=nb if nb is not None else default_nb(n, nranks),
-                              seed=seed, interference=interference)
+                              seed=seed, interference=interference,
+                              faults=faults)
         extra = {"grid": res.grid, "nb": res.nb}
     elif algorithm == "summa":
         if transa or transb:
@@ -90,21 +91,22 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
         res = summa_multiply(spec, nranks, m, n, k, payload=payload,
                              verify=verify,
                              kb=nb if nb is not None else default_nb(n, nranks),
-                             seed=seed, interference=interference)
+                             seed=seed, interference=interference,
+                             faults=faults)
         extra = {"grid": res.grid, "kb": res.kb}
     elif algorithm == "cannon":
         if transa or transb:
             raise ValueError("the Cannon baseline supports only the NN case")
         res = cannon_multiply(spec, nranks, m, n, k, payload=payload,
                               verify=verify, seed=seed,
-                              interference=interference)
+                              interference=interference, faults=faults)
         extra = {"grid": res.grid}
     elif algorithm == "fox":
         if transa or transb:
             raise ValueError("the Fox baseline supports only the NN case")
         res = fox_multiply(spec, nranks, m, n, k, payload=payload,
                            verify=verify, seed=seed,
-                           interference=interference)
+                           interference=interference, faults=faults)
         extra = {"grid": res.grid}
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")

@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "once per run")
     p_rep.add_argument("--full", action="store_true",
                        help="full-scale sweep (slow); default is quick scale")
+    p_rep.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault-injecting experiments' "
+                            "standard degraded plan (resilience); the same "
+                            "seed reproduces the run byte-for-byte")
+    p_rep.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="JSON FaultPlan file overriding the standard "
+                            "degraded plan (see repro.sim.faults)")
     _jobs(p_rep)
     _cache_flags(p_rep)
 
@@ -270,12 +277,18 @@ def _cmd_overlap(args) -> int:
 def _cmd_reproduce(args) -> int:
     from .bench.experiments import run_experiment
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .sim.faults import FaultPlan
+        fault_plan = FaultPlan.load(args.fault_plan)
     cache = _make_cache(args)
     scale = "full" if args.full else "quick"
     for name in args.experiment:
         title, headers, rows = run_experiment(name, full=args.full,
                                               jobs=args.jobs, cache=cache,
-                                              verbose=args.verbose)
+                                              verbose=args.verbose,
+                                              fault_seed=args.fault_seed,
+                                              fault_plan=fault_plan)
         print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
     if not args.full:
         print("(quick scale; run with --full, or `pytest benchmarks/`, "

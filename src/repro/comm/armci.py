@@ -36,7 +36,7 @@ import numpy as np
 
 from ..sim.cluster import Machine
 from ..sim.network import Link
-from .base import CommError, Request
+from .base import CommError, GetFailedError, Request
 
 __all__ = ["ArmciRuntime", "Armci"]
 
@@ -154,13 +154,24 @@ class ArmciRuntime:
 
     def get_transfer(self, caller: int, target: int, nbytes: float,
                      deliver: Callable[[], None] = _noop,
-                     segments: int = 1) -> Request:
+                     segments: int = 1, reliable: bool = False,
+                     failable: bool = True) -> Request:
         """Timing core of a get: ``deliver`` runs right before completion.
 
         ``segments`` > 1 charges the strided-transfer descriptor cost
         (``sg_overhead`` per extra segment) on remote-domain paths.
         Used by both the data-carrying and the byte-level facades, so the
         two paths can never drift apart.
+
+        Fault-injection knobs (no-ops on a healthy machine):
+
+        - ``reliable=True`` requests guaranteed delivery: the get uses the
+          host-assisted blocking-copy protocol even on zero-copy NICs and
+          is exempt from injected failures — the ``max_retries`` fallback
+          of the SRUMMA robust wait.
+        - ``failable=False`` exempts the get from injected failures without
+          changing its protocol; used by latency-bound control round trips
+          (RMW) that real runtimes acknowledge at the protocol level.
         """
         machine = self.machine
         engine = machine.engine
@@ -196,7 +207,18 @@ class ArmciRuntime:
         path = machine.network_path(target, caller)  # data flows target->caller
         done = engine.event("armci.get.rma")
 
-        if spec.network.zero_copy:
+        faults = machine.faults
+        if (faults is not None and failable and not reliable
+                and faults.draw_get_failure()):
+            # Injected in-flight loss: no payload moves; the caller observes
+            # GetFailedError after the plan's detection delay.
+            machine.tracer.bump("fault:get_failed")
+            engine._schedule(
+                faults.plan.detect_timeout,
+                lambda: done.fail(GetFailedError(caller, target, nbytes)))
+            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+
+        if spec.network.zero_copy and not reliable:
             flow = machine.transfer(
                 nbytes, path, latency=spec.network.rma_latency + sg_extra,
                 label=f"armci-get {target}->{caller}")
@@ -227,8 +249,8 @@ class ArmciRuntime:
 
             def copier():
                 try:
-                    yield engine.timeout(copy_time)
-                    machine.tracer.account(target, "copy", copy_time)
+                    wall = yield from machine.cpu_busy(target, copy_time)
+                    machine.tracer.account(target, "copy", wall)
                 finally:
                     cpu.release()
 
@@ -292,8 +314,8 @@ class ArmciRuntime:
 
             def copier():
                 try:
-                    yield engine.timeout(copy_time)
-                    machine.tracer.account(target, "copy", copy_time)
+                    wall = yield from machine.cpu_busy(target, copy_time)
+                    machine.tracer.account(target, "copy", wall)
                 finally:
                     cpu.release()
 
@@ -334,8 +356,8 @@ class ArmciRuntime:
             yield cpu.request()
             try:
                 add_time = n_elements / spec.cpu.flops
-                yield engine.timeout(add_time)
-                machine.tracer.account(target, "copy", add_time)
+                wall = yield from machine.cpu_busy(target, add_time)
+                machine.tracer.account(target, "copy", wall)
             finally:
                 cpu.release()
             deliver()
@@ -347,7 +369,8 @@ class ArmciRuntime:
     # -- data-carrying issue helpers --------------------------------------------
     def _issue_get(self, caller: int, target: int, key: str,
                    src_index: Optional[Index], out: np.ndarray,
-                   out_index: Optional[Index]) -> Request:
+                   out_index: Optional[Index],
+                   reliable: bool = False) -> Request:
         src = self.segment(target, key)
         sidx = _normalize_index(src_index)
         payload = np.array(src[sidx], copy=True)  # snapshot at issue
@@ -361,7 +384,8 @@ class ArmciRuntime:
             out[oidx] = payload.reshape(out[oidx].shape)
 
         return self.get_transfer(caller, target, float(payload.nbytes), deliver,
-                                 segments=_section_segments(src.shape, sidx))
+                                 segments=_section_segments(src.shape, sidx),
+                                 reliable=reliable)
 
     def _issue_put(self, caller: int, target: int, key: str,
                    dst_index: Optional[Index], data: np.ndarray) -> Request:
@@ -415,10 +439,15 @@ class Armci:
     # -- one-sided operations -------------------------------------------------
     def nb_get(self, target: int, key: str, out: np.ndarray,
                src_index: Optional[Index] = None,
-               out_index: Optional[Index] = None) -> Request:
+               out_index: Optional[Index] = None,
+               reliable: bool = False) -> Request:
         """Nonblocking get of ``segment(target,key)[src_index]`` into
-        ``out[out_index]``.  Returns a :class:`Request`."""
-        return self._rt._issue_get(self.rank, target, key, src_index, out, out_index)
+        ``out[out_index]``.  Returns a :class:`Request`.
+
+        ``reliable=True`` requests the guaranteed-delivery blocking-copy
+        protocol (fault-injection fallback; see :meth:`ArmciRuntime.get_transfer`)."""
+        return self._rt._issue_get(self.rank, target, key, src_index, out,
+                                   out_index, reliable=reliable)
 
     def get(self, target: int, key: str, out: np.ndarray,
             src_index: Optional[Index] = None,
@@ -479,7 +508,9 @@ class Armci:
         rt = self._rt
         if (target, key) not in rt._counters:
             raise CommError(f"no counter {key!r} on rank {target}")
-        req = rt.get_transfer(self.rank, target, 8.0)
+        # Control round trips are protocol-acknowledged on real runtimes,
+        # so they are exempt from injected data-loss (failable=False).
+        req = rt.get_transfer(self.rank, target, 8.0, failable=False)
 
         # The atomic update happens at the simulated completion instant.
         result: dict = {}
@@ -516,15 +547,15 @@ class Armci:
 
     # -- byte-level (synthetic payload) operations -------------------------------
     def nb_get_bytes(self, target: int, nbytes: float,
-                     segments: int = 1) -> Request:
+                     segments: int = 1, reliable: bool = False) -> Request:
         """Nonblocking get with the full protocol timing but no payload.
 
         ``segments`` replicates the strided-descriptor cost the equivalent
-        data-carrying get would pay."""
+        data-carrying get would pay; ``reliable`` as in :meth:`nb_get`."""
         if nbytes < 0:
             raise ValueError(f"negative get size {nbytes}")
         return self._rt.get_transfer(self.rank, target, float(nbytes),
-                                     segments=segments)
+                                     segments=segments, reliable=reliable)
 
     def get_bytes(self, target: int, nbytes: float, segments: int = 1):
         """Blocking byte-level get (generator)."""

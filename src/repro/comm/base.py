@@ -28,11 +28,32 @@ from ..sim.cluster import Machine
 from ..sim.engine import Engine, Event
 from ..sim.trace import Tracer
 
-__all__ = ["Request", "CommError", "RankContext", "ParallelRun", "run_parallel"]
+__all__ = ["Request", "CommError", "GetFailedError", "WaitTimeout",
+           "RankContext", "ParallelRun", "run_parallel"]
 
 
 class CommError(RuntimeError):
     """Protocol misuse or impossible communication request."""
+
+
+class GetFailedError(CommError):
+    """An RMA get was lost in flight (injected NIC/driver failure).
+
+    Raised out of the failed request's wait; the SRUMMA layer catches it
+    and re-issues with deterministic exponential backoff (see
+    ``docs/resilience.md``).  Carries enough identity to re-issue.
+    """
+
+    def __init__(self, caller: int, target: int, nbytes: float):
+        self.caller = caller
+        self.target = target
+        self.nbytes = nbytes
+        super().__init__(
+            f"get of {nbytes:.0f}B from rank {target} by rank {caller} failed")
+
+
+class WaitTimeout(CommError):
+    """``Request.wait(timeout=...)`` expired before the operation finished."""
 
 
 class Request:
@@ -70,6 +91,33 @@ class Request:
     def test(self) -> bool:
         """True once the operation has completed."""
         return self.done.triggered
+
+    def wait(self, timeout: Optional[float] = None) -> Generator:
+        """Yieldable wait, optionally bounded in *simulated* time.
+
+        ``yield from request.wait()`` is equivalent to ``yield
+        request.done`` (failures raise).  With a ``timeout``, a request
+        still pending after that many simulated seconds raises
+        :class:`WaitTimeout` — the operation itself is *not* cancelled and
+        may still complete later, so callers deciding to re-issue should
+        treat the old request as abandoned.  Unlike ``ctx.wait`` this does
+        no trace accounting; it is the low-level primitive robust waits
+        build on.
+        """
+        done = self.done
+        if timeout is None or done.triggered:
+            value = yield done
+            return value
+        engine = done.engine
+        race = engine.any_of([done, engine.timeout(timeout)])
+        yield race
+        if not done.triggered:
+            raise WaitTimeout(
+                f"{self.kind or 'request'} of {self.nbytes:.0f}B still "
+                f"pending after {timeout:g}s")
+        if not done.ok:
+            raise done.value
+        return done.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done.triggered else "pending"
@@ -117,7 +165,7 @@ class RankContext:
         if quantum is None or dt <= quantum:
             yield cpu.request()
             try:
-                yield self.engine.timeout(dt)
+                yield from self.machine.cpu_busy(self.rank, dt)
             finally:
                 cpu.release()
             return
@@ -126,7 +174,7 @@ class RankContext:
             piece = min(quantum, remaining)
             yield cpu.request()
             try:
-                yield self.engine.timeout(piece)
+                yield from self.machine.cpu_busy(self.rank, piece)
             finally:
                 cpu.release()
             remaining -= piece
@@ -235,7 +283,7 @@ class ParallelRun:
 def run_parallel(spec_or_machine, nranks: Optional[int],
                  rank_fn: Callable[[RankContext], Generator],
                  tracer: Optional[Tracer] = None,
-                 interference=None) -> ParallelRun:
+                 interference=None, faults=None) -> ParallelRun:
     """Run ``rank_fn(ctx)`` as one simulated process per rank.
 
     ``spec_or_machine`` may be a :class:`~repro.machines.spec.MachineSpec`
@@ -247,6 +295,12 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
     :class:`~repro.sim.interference.InterferencePattern`) injects per-CPU
     system-daemon bursts for the paper's §2 asynchrony experiments; the
     daemons are shut down automatically when the last rank finishes.
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) installs the
+    deterministic fault injector: brownout/outage window processes run on
+    the engine clock and seeded get failures activate in the comm layer.
+    ``None`` (the default) leaves ``machine.faults`` unset, which is the
+    exact pre-fault-injection code path.
     """
     # Imported here: armci/mpi/shmem import base for Request/RankContext.
     from .armci import Armci, ArmciRuntime
@@ -279,21 +333,26 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
         )
         procs.append(machine.engine.spawn(rank_fn(ctx), name=f"rank{rank}"))
 
+    daemons = []
     if interference is not None:
         from ..sim.interference import spawn_daemons
 
-        daemons = spawn_daemons(machine, interference)
-        if daemons:
-            def supervisor():
-                try:
-                    yield machine.engine.all_of(list(procs))
-                except BaseException:
-                    pass  # a crashed rank still shuts the daemons down
-                finally:
-                    for d in daemons:
-                        d.interrupt()
+        daemons.extend(spawn_daemons(machine, interference))
+    if faults is not None:
+        from ..sim.faults import install_faults
 
-            machine.engine.spawn(supervisor(), name="daemon-supervisor")
+        daemons.extend(install_faults(machine, faults).start())
+    if daemons:
+        def supervisor():
+            try:
+                yield machine.engine.all_of(list(procs))
+            except BaseException:
+                pass  # a crashed rank still shuts the daemons down
+            finally:
+                for d in daemons:
+                    d.interrupt()
+
+        machine.engine.spawn(supervisor(), name="daemon-supervisor")
 
     start = machine.engine.now
     machine.engine.run()

@@ -146,9 +146,10 @@ class MpiWindow:
             # The staging copy between the user buffer and the library's
             # internal buffer ran *serially* with the wire transfer in
             # era implementations (no chunk pipelining) — the main reason
-            # the paper found MPI_Get bandwidth "relatively low".
-            yield machine.engine.timeout(
-                nbytes / spec.network.host_copy_bandwidth)
+            # the paper found MPI_Get bandwidth "relatively low".  It is
+            # CPU work on the origin, so straggler injection dilates it.
+            yield from machine.cpu_busy(
+                self.ctx.rank, nbytes / spec.network.host_copy_bandwidth)
             if kind == "get":
                 if buf[...].shape != section.shape:
                     raise CommError(

@@ -34,7 +34,7 @@ from typing import Generator, Optional, Union
 import numpy as np
 
 from ..comm.armci import _section_segments
-from ..comm.base import RankContext, Request
+from ..comm.base import GetFailedError, RankContext, Request, WaitTimeout
 from ..distarray.distribution import Block2D
 from ..distarray.global_array import GlobalArray
 from ..machines.spec import MachineSpec
@@ -112,6 +112,12 @@ class RankStats:
     """High-water mark of communication buffer memory on this rank (the
     paper's memory-efficiency claim: SRUMMA needs two block buffers, not
     full extra copies of A and B)."""
+    retries: int = 0
+    """Gets re-issued after an injected failure or wait timeout (includes
+    the final reliable-protocol fallback issues).  Zero on healthy runs."""
+    faults_absorbed: int = 0
+    """Gets this rank recovered end-to-end: failed at least once, then
+    completed via retry or the reliable fallback.  Zero on healthy runs."""
 
 
 class _Operand:
@@ -287,6 +293,12 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     fetch_cache: dict = {}
     cache_sizes: dict = {}
     live_buffer_bytes = 0.0
+    # Fault-injection bookkeeping (inert when no plan is installed):
+    # request -> what to re-issue if it fails, and old request -> its
+    # replacement so tasks sharing a cached patch follow the retry chain.
+    injector = ctx.machine.faults
+    reissue_info: dict[Request, tuple] = {}
+    superseded: dict[Request, Request] = {}
 
     def _cache_lookup(key):
         hit = fetch_cache.pop(key, None)
@@ -328,6 +340,10 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                     arrays[slot] = buf
                     if not req.done.triggered:
                         reqs.append(req)
+                    elif injector is not None and not req.done.ok:
+                        # The cached transfer failed in flight; hand the
+                        # dead request to the robust wait so it re-issues.
+                        reqs.append(req)
                     continue
                 nbytes = op.elems * itemsize
                 stats.remote_gets += 1
@@ -345,6 +361,8 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                                                  segments=op.segments)
                 reqs.append(req)
                 issued_requests.append(req)
+                if injector is not None:
+                    reissue_info[req] = (key, op, ga, buf)
                 _cache_store(key, (buf, req), nbytes)
             elif op.mode == "view" and real:
                 arrays[slot] = ga.view_owner_patch(op.owner, op.index)
@@ -379,6 +397,71 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                 arrays[slot] = ga.view_owner_patch(op.owner, op.index)
         return arrays
 
+    # ----- waiting (healthy: exactly ctx.wait_all; degraded: robust) ---------
+    if injector is None:
+        wait_requests = ctx.wait_all
+    else:
+        fault_plan = injector.plan
+
+        def _reissue(op, ga, buf, rel: bool) -> Request:
+            if real:
+                return ga.nb_get_owner_patch(op.owner, op.index, buf,
+                                             reliable=rel)
+            return ctx.armci.nb_get_bytes(op.owner, op.elems * itemsize,
+                                          segments=op.segments, reliable=rel)
+
+        def wait_requests(reqs):
+            """Wait with bounded retry: failed gets are re-issued with
+            deterministic exponential backoff, then (after ``max_retries``)
+            via the reliable blocking-copy protocol, which cannot fail."""
+            for req in reqs:
+                attempt = 0
+                recovered = False
+                while True:
+                    t0 = ctx.now
+                    try:
+                        yield from req.wait(timeout=fault_plan.get_timeout)
+                    except (GetFailedError, WaitTimeout):
+                        ctx.tracer.account(ctx.rank, "comm_wait",
+                                           ctx.now - t0)
+                        info = reissue_info.pop(req, None)
+                        if info is None:
+                            repl = superseded.get(req)
+                            if repl is None:
+                                raise  # not one of ours: surface it
+                            req = repl  # another task already re-issued it
+                            continue
+                        key, op, ga, buf = info
+                        if attempt < fault_plan.max_retries:
+                            ctx.tracer.bump("fault:get_retry")
+                            rel = False
+                            delay = fault_plan.backoff(attempt)
+                            if delay > 0:
+                                yield ctx.engine.timeout(delay)
+                        else:
+                            ctx.tracer.bump("fault:get_fallback")
+                            rel = True
+                        attempt += 1
+                        stats.retries += 1
+                        recovered = True
+                        new_req = _reissue(op, ga, buf, rel)
+                        issued_requests.append(new_req)
+                        reissue_info[new_req] = (key, op, ga, buf)
+                        superseded[req] = new_req
+                        if key in fetch_cache:
+                            fetch_cache[key] = (buf, new_req)
+                        req = new_req
+                    else:
+                        ctx.tracer.account(ctx.rank, "comm_wait",
+                                           ctx.now - t0)
+                        reissue_info.pop(req, None)
+                        if req.on_complete is not None:
+                            cb, req.on_complete = req.on_complete, None
+                            cb()
+                        if recovered:
+                            stats.faults_absorbed += 1
+                        break
+
     def run_dgemm(i: int, arrays):
         """The serial kernel for task i (generator)."""
         task = tasks[i]
@@ -399,7 +482,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     # ----- execution -------------------------------------------------------------
     if flavor == "cluster" and options.dynamic and any(needs_get):
         yield from _run_dynamic(ctx, tasks, needs_get, issue_gets, run_dgemm,
-                                options.pipeline_depth)
+                                options.pipeline_depth, wait_requests)
     elif flavor == "cluster" and options.nonblocking and any(needs_get):
         # Double-buffered pipeline (paper §3.1 steps 3-4).  The two buffers
         # belong to the *remote* task subsequence: the first remote task's
@@ -418,7 +501,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                     nxt = remote_seq[next_ptr]
                     pending[nxt] = issue_gets(nxt)
                     next_ptr += 1
-                yield from ctx.wait_all(reqs)
+                yield from wait_requests(reqs)
             else:
                 arrays, _ = issue_gets(i)  # views only; no requests
             yield from run_dgemm(i, arrays)
@@ -428,8 +511,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                 arrays = yield from acquire_copies(i)
             else:
                 arrays, reqs = issue_gets(i)
-                for req in reqs:
-                    yield from ctx.wait(req)
+                yield from wait_requests(reqs)
             yield from run_dgemm(i, arrays)
 
     stats.comm_time += sum(r.duration or 0.0 for r in issued_requests)
@@ -437,7 +519,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
 
 
 def _run_dynamic(ctx: RankContext, tasks, needs_get, issue_gets, run_dgemm,
-                 depth: int) -> Generator:
+                 depth: int, wait_requests) -> Generator:
     """Dynamic schedule: remote prefetch pipeline + local tasks as filler.
 
     Up to ``depth`` remote tasks have their gets outstanding.  The executor
@@ -469,7 +551,7 @@ def _run_dynamic(ctx: RankContext, tasks, needs_get, issue_gets, run_dgemm,
             inflight.remove(ready)
             refill()
             idx, arrays, reqs = ready
-            yield from ctx.wait_all(reqs)  # already done; accounts zero wait
+            yield from wait_requests(reqs)  # already done; accounts zero wait
             yield from run_dgemm(idx, arrays)
         elif local_ptr < len(local):
             idx = local[local_ptr]
@@ -480,5 +562,5 @@ def _run_dynamic(ctx: RankContext, tasks, needs_get, issue_gets, run_dgemm,
             # Nothing ready and no filler left: block on the oldest.
             idx, arrays, reqs = inflight.pop(0)
             refill()
-            yield from ctx.wait_all(reqs)
+            yield from wait_requests(reqs)
             yield from run_dgemm(idx, arrays)

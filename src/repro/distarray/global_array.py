@@ -124,9 +124,13 @@ class GlobalArray:
 
     # -- owner-relative access (the task loop already knows owners/indices) ---------
     def nb_get_owner_patch(self, owner: int, index: tuple[slice, slice],
-                           out: np.ndarray) -> Request:
-        """Nonblocking get of ``owner``'s block section ``index`` into ``out``."""
-        return self.ctx.armci.nb_get(owner, self._key, out, src_index=index)
+                           out: np.ndarray, reliable: bool = False) -> Request:
+        """Nonblocking get of ``owner``'s block section ``index`` into ``out``.
+
+        ``reliable=True`` requests the guaranteed-delivery blocking-copy
+        protocol (the fault-injection retry fallback)."""
+        return self.ctx.armci.nb_get(owner, self._key, out, src_index=index,
+                                     reliable=reliable)
 
     def view_owner_patch(self, owner: int,
                          index: tuple[slice, slice]) -> np.ndarray:

@@ -12,6 +12,9 @@ Public surface:
 - :class:`~repro.sim.cluster.Machine`, :class:`~repro.sim.cluster.Node` —
   a full machine instance built from a :class:`~repro.machines.spec.MachineSpec`.
 - :class:`~repro.sim.trace.Tracer` — time accounting and event logs.
+- :class:`~repro.sim.faults.FaultPlan`,
+  :class:`~repro.sim.faults.FaultInjector` — deterministic fault injection
+  (brownouts, outages, stragglers, seeded RMA get failures).
 """
 
 from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
@@ -19,6 +22,16 @@ from .network import Flow, FlowNetwork, Link
 from .resources import Mailbox, Resource, TokenBucket
 from .cluster import Machine, Node
 from .interference import InterferencePattern, spawn_daemons
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkBrownout,
+    NicOutage,
+    StragglerWindow,
+    install_faults,
+    standard_degraded_plan,
+    unit_uniform,
+)
 from .trace import TimeBuckets, TraceEvent, Tracer
 
 __all__ = [
@@ -28,5 +41,8 @@ __all__ = [
     "Mailbox", "Resource", "TokenBucket",
     "Machine", "Node",
     "InterferencePattern", "spawn_daemons",
+    "FaultInjector", "FaultPlan", "LinkBrownout", "NicOutage",
+    "StragglerWindow", "install_faults", "standard_degraded_plan",
+    "unit_uniform",
     "TimeBuckets", "TraceEvent", "Tracer",
 ]

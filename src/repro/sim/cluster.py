@@ -64,6 +64,10 @@ class Machine:
         # (None = compute holds the CPU uninterrupted; daemons then cannot
         # preempt, which is unrealistic under contention).
         self.preemption_quantum: Optional[float] = None
+        # Fault injector installed by repro.sim.faults.install_faults
+        # (None = healthy machine; every fault hook checks this first so
+        # the healthy path schedules the exact pre-fault event sequence).
+        self.faults = None
 
         cpn = spec.cpus_per_node
         nnodes = spec.nodes_for(nranks)
@@ -149,6 +153,23 @@ class Machine:
                  label: str = "") -> Event:
         """Start a flow on the machine's network; returns its completion event."""
         return self.net.transfer(nbytes, path, latency=latency, label=label)
+
+    def cpu_busy(self, rank: int, seconds: float):
+        """Occupy simulated time for CPU work ``rank`` performs *now*.
+
+        The single dilation point for straggler injection: with no fault
+        plan this is exactly ``yield engine.timeout(seconds)``; with one,
+        the plan's straggler windows stretch the wall time.  Returns the
+        wall seconds actually spent, so callers can account real elapsed
+        time into trace buckets (equal to ``seconds`` when healthy).
+        """
+        faults = self.faults
+        if faults is None:
+            yield self.engine.timeout(seconds)
+            return seconds
+        wall = faults.wall_time(rank, self.engine.now, seconds)
+        yield self.engine.timeout(wall)
+        return wall
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.nranks):

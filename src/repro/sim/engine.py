@@ -487,7 +487,9 @@ class Engine:
                 self.now = t
                 steps += 1
                 if steps > max_steps:
-                    raise SimulationError(f"exceeded {max_steps} engine steps")
+                    raise SimulationError(
+                        f"exceeded {max_steps} engine steps"
+                        + self._crash_detail())
                 call.fn()
             else:
                 if until is not None and until > self.now:
@@ -497,6 +499,23 @@ class Engine:
             self._running = False
             self._collect_crashes = False
         return self.now
+
+    def _crash_detail(self) -> str:
+        """Debug suffix for runaway-guard errors: a simulation that spins
+        past ``max_steps`` after a process crashed unobserved almost always
+        spins *because* of that crash (e.g. a fault-injection test whose
+        peers poll for a rank that died), so surface the first crash's name
+        and traceback instead of leaving only a step count."""
+        if not self._crashed:
+            return ""
+        import traceback
+
+        first = self._crashed[0]
+        exc = first.value
+        tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        others = (f" (and {len(self._crashed) - 1} more)"
+                  if len(self._crashed) > 1 else "")
+        return (f"; process {first.name!r} crashed unobserved{others}:\n{tb}")
 
     @property
     def crashed_processes(self) -> list[Process]:

@@ -1,0 +1,458 @@
+"""Deterministic, seeded fault injection: brownouts, outages, stragglers.
+
+The paper's overlap claim has a flip side the healthy-machine simulator
+cannot show: a pipeline that hides communication behind computation also
+*absorbs* transient network degradation and slow CPUs, while synchronous
+broadcast pipelines amplify them (every panel waits for the unluckiest
+rank).  This module injects that degradation deterministically so the
+comparison is exact:
+
+- :class:`FaultPlan` is pure data — frozen dataclasses of absolute-time
+  windows plus a seed — picklable across worker processes and canonical
+  enough to participate in the content-addressed result-cache key.
+- :class:`FaultInjector` applies the plan on the engine clock: brownout /
+  outage windows rescale NIC :class:`~repro.sim.network.Link` bandwidth
+  (re-settling in-flight flows max-min fairly via
+  :meth:`~repro.sim.network.FlowNetwork.set_bandwidth`), straggler windows
+  dilate CPU work issued through :meth:`~repro.sim.cluster.Machine.cpu_busy`,
+  and seeded draws fail individual remote RMA gets
+  (:class:`~repro.comm.base.GetFailedError`, retried by the SRUMMA layer).
+
+Determinism guarantees (``docs/resilience.md``):
+
+1. Same plan + seed => bit-identical simulation, across runs and across
+   ``--jobs`` values: every fault event is a function of the plan and the
+   engine clock, never of wall time or interpreter state.
+2. ``machine.faults is None`` (no plan) is the *exact* pre-fault code
+   path: every hook is guarded, so healthy runs schedule the identical
+   event sequence they did before fault injection existed.
+3. Get-failure draws hash a per-runtime issue counter with splitmix64
+   (:func:`unit_uniform`) — no ``random.Random`` state, so the stream is
+   platform-independent and unaffected by unrelated code drawing numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .engine import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import Machine
+    from .network import Link
+
+__all__ = [
+    "LinkBrownout",
+    "NicOutage",
+    "StragglerWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "install_faults",
+    "standard_degraded_plan",
+    "unit_uniform",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def unit_uniform(seed: int, n: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` for draw ``n`` of stream ``seed``.
+
+    A stateless splitmix64 hash: the value depends only on ``(seed, n)``,
+    so fault draws are reproducible whatever else the process computed.
+    """
+    z = _splitmix64((seed & _MASK64) ^ _splitmix64(n & _MASK64))
+    return (z >> 11) * (1.0 / (1 << 53))
+
+
+def _check_window(what: str, t_start: float, t_end: float) -> None:
+    if t_start < 0:
+        raise ValueError(f"{what} starts before t=0: {t_start}")
+    if t_end <= t_start:
+        raise ValueError(f"{what} window [{t_start}, {t_end}] is empty")
+
+
+@dataclass(frozen=True)
+class LinkBrownout:
+    """One node's NIC bandwidth multiplied by ``factor`` over a window."""
+
+    node: int
+    t_start: float
+    t_end: float
+    factor: float
+    direction: str = "both"
+    """``"out"`` (egress), ``"in"`` (ingress), or ``"both"``."""
+
+    def __post_init__(self):
+        _check_window("brownout", self.t_start, self.t_end)
+        if not (0.0 < self.factor <= 1.0):
+            raise ValueError(f"brownout factor must be in (0, 1], got {self.factor}")
+        if self.direction not in ("out", "in", "both"):
+            raise ValueError(f"unknown brownout direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class NicOutage:
+    """A (near-)total NIC failure: both directions drop to ``residual``.
+
+    The flow model cannot carry literal zero bandwidth (an in-flight byte
+    must land eventually), so an outage is a brownout to a tiny residual
+    fraction — transfers crawl rather than stall forever, which also gives
+    retry/backoff something to time out against.
+    """
+
+    node: int
+    t_start: float
+    t_end: float
+    residual: float = 1e-4
+
+    def __post_init__(self):
+        _check_window("outage", self.t_start, self.t_end)
+        if not (0.0 < self.residual <= 1.0):
+            raise ValueError(f"outage residual must be in (0, 1], got {self.residual}")
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """One rank's CPU runs ``slowdown`` times slower over a window."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    slowdown: float
+
+    def __post_init__(self):
+        _check_window("straggler", self.t_start, self.t_end)
+        if self.slowdown < 1.0:
+            raise ValueError(f"straggler slowdown must be >= 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic description of injected degradation.
+
+    Pure data: nested frozen dataclasses and scalars only, so a plan is
+    hashable, picklable (crosses ``run_points`` worker boundaries), and
+    canonicalises field-by-field into the result-cache key — a degraded
+    run can never collide with a healthy one.
+    """
+
+    brownouts: tuple[LinkBrownout, ...] = ()
+    outages: tuple[NicOutage, ...] = ()
+    stragglers: tuple[StragglerWindow, ...] = ()
+
+    get_fail_prob: float = 0.0
+    """Per-get probability that a remote-domain RMA get fails (seeded draw
+    per issue, not true randomness)."""
+
+    seed: int = 0
+    """Stream seed for the get-failure draws."""
+
+    max_retries: int = 3
+    """Failed gets are re-issued up to this many times with exponential
+    backoff before falling back to the reliable blocking-copy protocol."""
+
+    backoff_base: float = 1e-4
+    backoff_factor: float = 2.0
+    """Retry ``i`` sleeps ``backoff_base * backoff_factor**i`` simulated
+    seconds before re-issuing — deterministic exponential backoff."""
+
+    detect_timeout: float = 1e-4
+    """Simulated seconds before an injected get failure is observable (the
+    NIC/driver error-detection delay)."""
+
+    get_timeout: Optional[float] = None
+    """Optional per-wait bound: a robust wait treats a get still pending
+    after this many simulated seconds as failed (None = wait forever)."""
+
+    def __post_init__(self):
+        if not (0.0 <= self.get_fail_prob <= 1.0):
+            raise ValueError(f"get_fail_prob must be in [0, 1], got {self.get_fail_prob}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.detect_timeout < 0:
+            raise ValueError(f"detect_timeout must be >= 0, got {self.detect_timeout}")
+        if self.get_timeout is not None and self.get_timeout <= 0:
+            raise ValueError(f"get_timeout must be positive, got {self.get_timeout}")
+        # Straggler windows on one rank must not overlap: the piecewise
+        # wall-time walk assumes at most one active slowdown per rank.
+        by_rank: dict[int, list[StragglerWindow]] = {}
+        for w in self.stragglers:
+            by_rank.setdefault(w.rank, []).append(w)
+        for rank, windows in by_rank.items():
+            windows = sorted(windows, key=lambda w: w.t_start)
+            for prev, nxt in zip(windows, windows[1:]):
+                if nxt.t_start < prev.t_end:
+                    raise ValueError(
+                        f"straggler windows overlap on rank {rank}: "
+                        f"[{prev.t_start}, {prev.t_end}] and "
+                        f"[{nxt.t_start}, {nxt.t_end}]")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (not self.brownouts and not self.outages
+                and not self.stragglers and self.get_fail_prob == 0.0)
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before re-issue ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+    def describe(self) -> str:
+        parts = []
+        if self.brownouts:
+            parts.append(f"{len(self.brownouts)} brownout(s)")
+        if self.outages:
+            parts.append(f"{len(self.outages)} outage(s)")
+        if self.stragglers:
+            parts.append(f"{len(self.stragglers)} straggler(s)")
+        if self.get_fail_prob > 0:
+            parts.append(f"get_fail_prob={self.get_fail_prob:g}")
+        return ", ".join(parts) if parts else "no faults"
+
+    # -- JSON round-trip (--fault-plan FILE) -------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "brownouts": [dataclasses.asdict(b) for b in self.brownouts],
+            "outages": [dataclasses.asdict(o) for o in self.outages],
+            "stragglers": [dataclasses.asdict(s) for s in self.stragglers],
+            "get_fail_prob": self.get_fail_prob,
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "detect_timeout": self.detect_timeout,
+            "get_timeout": self.get_timeout,
+        }
+
+    @classmethod
+    def from_json_dict(cls, blob: dict) -> "FaultPlan":
+        if not isinstance(blob, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+        kwargs = dict(blob)
+        kwargs["brownouts"] = tuple(
+            LinkBrownout(**b) for b in blob.get("brownouts", ()))
+        kwargs["outages"] = tuple(
+            NicOutage(**o) for o in blob.get("outages", ()))
+        kwargs["stragglers"] = tuple(
+            StragglerWindow(**s) for s in blob.get("stragglers", ()))
+        return cls(**kwargs)
+
+    def save(self, path: os.PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json_dict(json.load(fh))
+
+
+def standard_degraded_plan(horizon: float, seed: int = 0) -> "FaultPlan":
+    """The resilience experiment's canonical brownout+straggler plan.
+
+    ``horizon`` is the slowest algorithm's *healthy* completion time; the
+    windows are fractions of it so one plan stresses every algorithm over
+    comparable phases of its run.  The brownout deliberately outlives the
+    horizon: the degraded runs finish later than the healthy ones, and a
+    window that lapsed mid-run would dilute the comparison.  ``seed``
+    jitters the window edges (a few percent) so distinct ``--fault-seed``
+    values produce visibly distinct — but equally deterministic — plans.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+
+    def jit(i: int, width: float = 0.06) -> float:
+        return 1.0 + width * (unit_uniform(seed, 0x5EED + i) - 0.5)
+
+    return FaultPlan(
+        brownouts=(
+            LinkBrownout(node=0, t_start=0.05 * horizon * jit(0),
+                         t_end=4.0 * horizon, factor=0.25 * jit(1)),
+        ),
+        outages=(
+            NicOutage(node=1, t_start=0.20 * horizon * jit(2),
+                      t_end=0.35 * horizon * jit(3), residual=1e-3),
+        ),
+        stragglers=(
+            StragglerWindow(rank=3, t_start=0.10 * horizon * jit(4),
+                            t_end=0.80 * horizon * jit(5),
+                            slowdown=1.3 * jit(6)),
+        ),
+        get_fail_prob=0.01,
+        seed=seed,
+    )
+
+
+class FaultInjector:
+    """Live plan application: window processes + seeded draws + dilation.
+
+    Created by :func:`install_faults` (one per :class:`Machine`), which
+    also sets ``machine.faults`` — the flag every hook in the comm and
+    compute layers checks before deviating from the healthy code path.
+    """
+
+    def __init__(self, machine: "Machine", plan: FaultPlan):
+        nnodes = len(machine.nodes)
+        for b in plan.brownouts:
+            if not (0 <= b.node < nnodes):
+                raise ValueError(f"brownout node {b.node} out of range [0, {nnodes})")
+        for o in plan.outages:
+            if not (0 <= o.node < nnodes):
+                raise ValueError(f"outage node {o.node} out of range [0, {nnodes})")
+        for s in plan.stragglers:
+            machine._check_rank(s.rank)
+        self.machine = machine
+        self.plan = plan
+        self._get_draws = 0
+        # Window bookkeeping: base bandwidth captured at first touch, plus
+        # the multiset of active factors per link.  Restoring recomputes
+        # base * prod(active) from scratch, so when the last window closes
+        # the link is back at its *exact* original bandwidth (no drift from
+        # repeated multiply/divide).
+        self._base_bw: dict["Link", float] = {}
+        self._active: dict["Link", list[float]] = {}
+        self._straggle: dict[int, tuple[StragglerWindow, ...]] = {}
+        for w in plan.stragglers:
+            self._straggle.setdefault(w.rank, ())
+        for rank in self._straggle:
+            self._straggle[rank] = tuple(sorted(
+                (w for w in plan.stragglers if w.rank == rank),
+                key=lambda w: w.t_start))
+
+    # -- injector processes ------------------------------------------------
+    def start(self) -> list[Process]:
+        """Spawn one engine process per fault window; returns them so the
+        run's supervisor can interrupt leftovers when the last rank ends."""
+        engine = self.machine.engine
+        procs = []
+        for i, b in enumerate(self.plan.brownouts):
+            links = self._nic_links(b.node, b.direction)
+            procs.append(engine.spawn(
+                self._window(links, b.t_start, b.t_end, b.factor, "brownout"),
+                name=f"fault-brownout{i}@node{b.node}"))
+        for i, o in enumerate(self.plan.outages):
+            links = self._nic_links(o.node, "both")
+            procs.append(engine.spawn(
+                self._window(links, o.t_start, o.t_end, o.residual, "outage"),
+                name=f"fault-outage{i}@node{o.node}"))
+        return procs
+
+    def _nic_links(self, node: int, direction: str) -> list["Link"]:
+        n = self.machine.nodes[node]
+        if direction == "out":
+            return [n.nic_out]
+        if direction == "in":
+            return [n.nic_in]
+        return [n.nic_out, n.nic_in]
+
+    def _window(self, links, t_start: float, t_end: float, factor: float,
+                kind: str):
+        engine = self.machine.engine
+        try:
+            yield engine.timeout(t_start - engine.now)
+        except Interrupt:
+            return  # run ended before the window opened
+        for link in links:
+            self._apply(link, factor)
+        self.machine.tracer.bump(f"fault:{kind}")
+        try:
+            yield engine.timeout(t_end - t_start)
+        except Interrupt:
+            pass  # run ended mid-window; still restore below
+        finally:
+            for link in links:
+                self._clear(link, factor)
+
+    def _apply(self, link: "Link", factor: float) -> None:
+        base = self._base_bw.setdefault(link, link.bandwidth)
+        active = self._active.setdefault(link, [])
+        active.append(factor)
+        bw = base
+        for f in active:
+            bw *= f
+        self.machine.net.set_bandwidth(link, bw)
+
+    def _clear(self, link: "Link", factor: float) -> None:
+        active = self._active.get(link, [])
+        if factor in active:
+            active.remove(factor)
+        bw = self._base_bw.get(link, link.bandwidth)
+        for f in active:
+            bw *= f
+        self.machine.net.set_bandwidth(link, bw)
+
+    # -- seeded get failures ----------------------------------------------
+    def draw_get_failure(self) -> bool:
+        """One seeded draw per failable get issue; advances the counter."""
+        n = self._get_draws
+        self._get_draws += 1
+        p = self.plan.get_fail_prob
+        if p <= 0.0:
+            return False
+        return unit_uniform(self.plan.seed, n) < p
+
+    # -- straggler dilation -------------------------------------------------
+    def wall_time(self, rank: int, start: float, work: float) -> float:
+        """Wall seconds ``rank`` needs for ``work`` CPU-seconds from ``start``.
+
+        Walks the rank's (non-overlapping, sorted) straggler windows: work
+        inside a window progresses at ``1/slowdown``.  The plan is static,
+        so this closed-form walk is equivalent to rescaling the busy
+        timeout at every window edge — with one engine event instead of
+        one per edge.
+        """
+        windows = self._straggle.get(rank)
+        if not windows or work <= 0.0:
+            return work
+        t = start
+        remaining = work
+        wall = 0.0
+        for w in windows:
+            if remaining <= 0.0:
+                break
+            if t < w.t_start:
+                healthy = min(remaining, w.t_start - t)
+                wall += healthy
+                t += healthy
+                remaining -= healthy
+                if remaining <= 0.0:
+                    break
+            if t < w.t_end:
+                # CPU-work achievable before the window closes.
+                cap = (w.t_end - t) / w.slowdown
+                done = min(remaining, cap)
+                wall += done * w.slowdown
+                t += done * w.slowdown
+                remaining -= done
+        return wall + remaining
+
+
+def install_faults(machine: "Machine", plan: FaultPlan) -> FaultInjector:
+    """Attach a plan to a machine; hooks activate via ``machine.faults``."""
+    if machine.faults is not None:
+        raise ValueError("machine already has a fault plan installed")
+    injector = FaultInjector(machine, plan)
+    machine.faults = injector
+    return injector

@@ -123,6 +123,7 @@ class FlowNetwork:
         # Insertion-ordered registry of active flows (see Link.flows).
         self._flows: dict[Flow, None] = {}
         self.completed_flows = 0
+        self.aborted_flows = 0
         self._flow_seq = 0
         # Links whose membership changed since the last reallocation pass,
         # awaiting the same-instant flush.
@@ -161,6 +162,51 @@ class FlowNetwork:
     @property
     def active_flow_count(self) -> int:
         return len(self._flows)
+
+    def set_bandwidth(self, link: Link, bandwidth: float) -> None:
+        """Change a link's capacity mid-simulation (fault injection).
+
+        In-flight flows are settled at their old rates up to this instant,
+        then the link's connected component is re-allocated max-min fairly —
+        exactly the arrival/departure machinery, triggered by a capacity
+        change instead of a membership change.  A no-op when the bandwidth
+        is unchanged, so restoring after a fault window costs nothing if
+        nothing else moved the value meanwhile.
+        """
+        if bandwidth <= 0:
+            raise ValueError(
+                f"link {link.name!r} needs positive bandwidth, got {bandwidth}")
+        bandwidth = float(bandwidth)
+        if bandwidth == link.bandwidth:
+            return
+        link.bandwidth = bandwidth
+        # Only flows constrained by this link (directly or through a chain
+        # of shared links) can change rate; an idle link just carries the
+        # new capacity forward to future joins.
+        if link.flows:
+            self._mark_dirty([link])
+
+    def abort(self, done: Event) -> bool:
+        """Tear down the in-flight flow whose completion event is ``done``.
+
+        Settles the flow's progress to the current instant, removes it from
+        its links *without* counting it as completed, and re-settles the
+        shares of flows that were contending with it.  Returns ``False``
+        when no active flow carries the event — already finished, or still
+        in its latency phase (not yet a flow).
+        """
+        for flow in self._flows:
+            if flow.done is done:
+                break
+        else:
+            return False
+        self._settle_flow(flow)
+        self._remove(flow, completed=False)
+        self.aborted_flows += 1
+        if (self.allocator == "reference"
+                or any(link.flows for link in flow.path)):
+            self._mark_dirty(flow.path)
+        return True
 
     # -- internals ----------------------------------------------------------
     def _start_flow(self, flow: Flow) -> None:
@@ -203,14 +249,15 @@ class FlowNetwork:
             # flow that was alone on its whole path affects nobody.
             self._mark_dirty(flow.path)
 
-    def _remove(self, flow: Flow) -> None:
+    def _remove(self, flow: Flow, completed: bool = True) -> None:
         self._flows.pop(flow, None)
         for link in flow.path:
             link.flows.pop(flow, None)
         if flow._sched is not None:
             self.engine.cancel(flow._sched)
             flow._sched = None
-        self.completed_flows += 1
+        if completed:
+            self.completed_flows += 1
 
     def _settle_flow(self, flow: Flow) -> None:
         """Advance one flow's remaining-bytes to the current instant."""

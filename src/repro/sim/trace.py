@@ -75,6 +75,17 @@ class Tracer:
         """Increment a named counter (messages sent, gets issued, ...)."""
         self.counters[counter] += n
 
+    def health(self) -> dict[str, int]:
+        """Fault-injection health counters (the ``fault:*`` namespace).
+
+        Populated only when a fault plan is active: injected get failures,
+        retries, reliable-protocol fallbacks, and window activations.  An
+        empty dict therefore certifies a run saw no fault machinery at all.
+        """
+        prefix = "fault:"
+        return {name[len(prefix):]: val for name, val in self.counters.items()
+                if name.startswith(prefix)}
+
     def buckets(self, rank: int) -> TimeBuckets:
         return self._buckets[rank]
 

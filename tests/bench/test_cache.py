@@ -72,6 +72,56 @@ def test_key_distinguishes_every_spec_field(other):
     assert point_key(other) != point_key(BASE)
 
 
+def test_key_distinguishes_faulty_from_healthy():
+    from repro.sim.faults import FaultPlan
+
+    assert point_key(dataclasses.replace(BASE, faults=FaultPlan())) != \
+        point_key(BASE)
+
+
+def _plan_variants():
+    from repro.sim.faults import (
+        FaultPlan,
+        LinkBrownout,
+        NicOutage,
+        StragglerWindow,
+    )
+
+    base = FaultPlan(get_fail_prob=0.1, seed=1)
+    return base, [
+        dataclasses.replace(base, brownouts=(LinkBrownout(0, 0.1, 0.2, 0.5),)),
+        dataclasses.replace(base, outages=(NicOutage(1, 0.1, 0.2),)),
+        dataclasses.replace(base, stragglers=(StragglerWindow(0, 0.0, 1.0, 2.0),)),
+        dataclasses.replace(base, get_fail_prob=0.2),
+        dataclasses.replace(base, seed=2),
+        dataclasses.replace(base, max_retries=5),
+        dataclasses.replace(base, backoff_base=1e-3),
+        dataclasses.replace(base, backoff_factor=3.0),
+        dataclasses.replace(base, detect_timeout=1e-3),
+        dataclasses.replace(base, get_timeout=0.5),
+    ]
+
+
+def test_key_distinguishes_every_fault_plan_field():
+    # _canon walks the nested frozen dataclasses field-by-field, so every
+    # FaultPlan knob — windows, probabilities, retry policy — must land in
+    # the key: two degraded runs differing in any of them are different
+    # simulations.
+    base, variants = _plan_variants()
+    base_key = point_key(dataclasses.replace(BASE, faults=base))
+    keys = {point_key(dataclasses.replace(BASE, faults=v)) for v in variants}
+    assert base_key not in keys
+    assert len(keys) == len(variants)  # all pairwise distinct
+
+
+def test_same_plan_value_same_key():
+    from repro.sim.faults import standard_degraded_plan
+
+    a = dataclasses.replace(BASE, faults=standard_degraded_plan(0.5, seed=3))
+    b = dataclasses.replace(BASE, faults=standard_degraded_plan(0.5, seed=3))
+    assert point_key(a) == point_key(b)
+
+
 def test_golden_key_is_stable_across_sessions_and_python_versions():
     # The key must only depend on the canonical spec content — hex floats,
     # sorted-key compact JSON — never on dict order, repr details, or the
@@ -84,8 +134,10 @@ def test_golden_key_is_stable_across_sessions_and_python_versions():
         memory=MemorySpec(copy_bandwidth=1e9),
     )
     spec = PointSpec("srumma", golden_machine, 16, 2000, seed=3)
+    # Golden for schema v2 (v1's was 6f64d7d1...; the faults field and the
+    # schema bump moved it).
     assert point_key(spec) == (
-        "6f64d7d166d51628a9f943c822908c670bdfb5690032ca95947d92269aa30a74")
+        "f0c2fb1f336a8ace6e58ce3e55d1391d105db654d5eef9c8b65de0f8a90cd637")
 
 
 def test_canonical_spec_renders_floats_as_hex():

@@ -8,7 +8,7 @@ from repro.cli import main
 
 def test_registry_covers_every_figure_and_table():
     expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "table1", "diag-shift"}
+                "table1", "diag-shift", "resilience"}
     assert expected == set(EXPERIMENTS)
 
 
@@ -50,6 +50,33 @@ def test_quick_diag_shift_never_hurts():
     _, headers, rows = run_experiment("diag-shift")
     speedup = headers.index("speedup")
     assert all(row[speedup] >= 0.99 for row in rows)
+
+
+def test_quick_resilience_shape_and_determinism():
+    # SRUMMA's degraded-mode inflation is strictly the smallest, and the
+    # rows are reproducible for a fixed fault seed.
+    title, headers, rows = run_experiment("resilience", fault_seed=0)
+    assert "Resilience" in title
+    infl = headers.index("inflation")
+    by_alg = {row[0]: row[infl] for row in rows}
+    assert by_alg["srumma"] < by_alg["summa"]
+    assert by_alg["srumma"] < by_alg["pdgemm"]
+    assert all(v > 1.0 for v in by_alg.values())  # faults actually bite
+    again = run_experiment("resilience", fault_seed=0)
+    assert again[2] == rows
+
+
+def test_resilience_fault_plan_file_overrides_standard(tmp_path):
+    # A --fault-plan file bypasses the seed-derived standard plan entirely.
+    from repro.sim.faults import FaultPlan, StragglerWindow
+
+    plan = FaultPlan(stragglers=(StragglerWindow(0, 0.0, 1.0, 2.0),))
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    _, headers, rows = run_experiment("resilience",
+                                      fault_plan=FaultPlan.load(path))
+    infl = headers.index("inflation")
+    assert all(row[infl] >= 1.0 for row in rows)
 
 
 def test_cli_reproduce(capsys):

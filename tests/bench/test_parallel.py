@@ -131,3 +131,81 @@ def test_experiment_rows_identical_serial_vs_parallel():
     serial = run_experiment("fig10", full=False, jobs=1)
     parallel = run_experiment("fig10", full=False, jobs=2)
     assert serial == parallel
+
+
+# -- pool hardening: timeouts, worker death, bounded retry --------------------
+
+def _sleepy_payload(spec):
+    # Module-level so the fork-context pool can pickle it by reference.
+    import time
+    time.sleep(30.0)
+    return ("ok", None, 0.0)
+
+
+def _suicidal_payload(spec):
+    # Dies without a traceback: the parent sees BrokenProcessPool.
+    os._exit(1)
+
+
+def _die_once_payload(spec):
+    # First execution kills the worker; the retry (flag file now exists)
+    # succeeds.  The flag path rides in through spec.payload.
+    flag = spec.payload
+    if os.path.exists(flag):
+        real = dataclasses.replace(spec, payload="synthetic")
+        return ("ok", real.run(), 0.0)
+    open(flag, "w").close()
+    os._exit(1)
+
+
+def test_point_timeout_raises_without_joining_worker(monkeypatch):
+    from repro.bench import parallel as mod
+
+    monkeypatch.setattr(mod, "_run_point_payload", _sleepy_payload)
+    specs = [PointSpec("srumma", LINUX_MYRINET, 4, 16),
+             PointSpec("pdgemm", LINUX_MYRINET, 4, 16)]
+    import time
+    t0 = time.perf_counter()
+    with pytest.raises(PointExecutionError, match="per-point timeout"):
+        run_points(specs, jobs=2, point_timeout=0.5)
+    # shutdown(wait=False): raising must not block on the sleeping worker.
+    assert time.perf_counter() - t0 < 25.0
+
+
+def test_worker_death_retries_once_in_fresh_pool(monkeypatch, tmp_path):
+    from repro.bench import parallel as mod
+
+    monkeypatch.setattr(mod, "_run_point_payload", _die_once_payload)
+    flag = str(tmp_path / "died-once")
+    specs = [PointSpec("srumma", LINUX_MYRINET, 4, 16, payload=flag),
+             PointSpec("pdgemm", LINUX_MYRINET, 4, 16, payload=flag)]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        points = run_points(specs, jobs=2)
+    assert any("retrying once" in str(w.message) for w in caught)
+    assert [p.algorithm for p in points] == ["srumma", "pdgemm"]
+    assert _fields(points) == _fields(run_points(
+        [dataclasses.replace(s, payload="synthetic") for s in specs], jobs=1))
+
+
+def test_worker_death_twice_raises_with_spec(monkeypatch):
+    from repro.bench import parallel as mod
+
+    monkeypatch.setattr(mod, "_run_point_payload", _suicidal_payload)
+    specs = [PointSpec("srumma", LINUX_MYRINET, 4, 16),
+             PointSpec("pdgemm", LINUX_MYRINET, 4, 16)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with pytest.raises(PointExecutionError, match="died twice") as exc_info:
+            run_points(specs, jobs=2)
+    assert exc_info.value.spec == specs[0]
+
+
+def test_point_timeout_ignored_on_serial_path(monkeypatch):
+    from repro.bench import parallel as mod
+
+    # Serial path must not touch the payload wrapper or the timeout at all.
+    monkeypatch.setattr(mod, "_run_point_payload", _sleepy_payload)
+    points = run_points([PointSpec("srumma", LINUX_MYRINET, 4, 16)],
+                        jobs=1, point_timeout=1e-9)
+    assert points[0].algorithm == "srumma"

@@ -1,0 +1,135 @@
+"""SRUMMA degraded-mode recovery: retries, backoff, reliable fallback.
+
+The contract under test:
+
+- injected get failures are retried with deterministic exponential
+  backoff and the multiplication still verifies numerically;
+- after ``max_retries`` the rank falls back to the reliable
+  blocking-copy protocol, so even ``get_fail_prob=1.0`` completes;
+- ``RankStats.retries`` / ``faults_absorbed`` and the ``fault:*`` health
+  counters expose what happened;
+- an *empty* plan is byte-identical to no plan at all (the healthy path
+  is the exact pre-fault code path);
+- degraded runs are deterministic: same plan + seed => identical elapsed,
+  across repeated runs and across worker counts.
+"""
+
+import pytest
+
+from repro.bench.parallel import PointSpec, run_points
+from repro.core.api import srumma_multiply
+from repro.core.srumma import SrummaOptions
+from repro.machines import LINUX_MYRINET
+from repro.sim.faults import FaultPlan, LinkBrownout, StragglerWindow
+
+N, P = 48, 4
+
+
+def _run(plan, **kw):
+    kw.setdefault("payload", "real")
+    kw.setdefault("verify", True)
+    return srumma_multiply(LINUX_MYRINET, P, N, N, N, faults=plan, **kw)
+
+
+class TestRetryRecovery:
+    def test_failed_gets_are_retried_and_result_verifies(self):
+        plan = FaultPlan(get_fail_prob=0.4, seed=11)
+        res = _run(plan)
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert sum(s.retries for s in res.stats) > 0
+        assert sum(s.faults_absorbed for s in res.stats) > 0
+        health = res.run.tracer.health()
+        assert health["get_failed"] > 0
+        assert health["get_retry"] > 0
+
+    def test_prob_one_exhausts_retries_and_falls_back_reliably(self):
+        plan = FaultPlan(get_fail_prob=1.0, seed=0, max_retries=2)
+        res = _run(plan)
+        assert res.max_error is not None and res.max_error < 1e-10
+        health = res.run.tracer.health()
+        assert health["get_fallback"] > 0  # the blocking-copy escape hatch
+        # Every remote get failed, retried max_retries times, then fell back.
+        assert sum(s.retries for s in res.stats) >= health["get_fallback"]
+
+    def test_retries_cost_simulated_time(self):
+        healthy = _run(None)
+        degraded = _run(FaultPlan(get_fail_prob=1.0, seed=0))
+        assert degraded.elapsed > healthy.elapsed
+
+    def test_blocking_pipeline_recovers_too(self):
+        plan = FaultPlan(get_fail_prob=0.5, seed=3)
+        res = _run(plan, options=SrummaOptions(flavor="cluster",
+                                               nonblocking=False))
+        assert res.max_error is not None and res.max_error < 1e-10
+
+    def test_dynamic_schedule_recovers_too(self):
+        plan = FaultPlan(get_fail_prob=0.5, seed=3)
+        res = _run(plan, options=SrummaOptions(dynamic=True))
+        assert res.max_error is not None and res.max_error < 1e-10
+
+    def test_verifies_under_brownout_and_straggler(self):
+        plan = FaultPlan(
+            brownouts=(LinkBrownout(0, 0.0, 10.0, 0.25),),
+            stragglers=(StragglerWindow(1, 0.0, 10.0, 2.0),),
+            get_fail_prob=0.2, seed=5)
+        healthy = _run(None)
+        degraded = _run(plan)
+        assert degraded.max_error is not None and degraded.max_error < 1e-10
+        assert degraded.elapsed > healthy.elapsed
+
+
+class TestHealthyPathExactness:
+    def test_empty_plan_matches_no_plan_exactly(self):
+        # An installed-but-empty plan exercises the robust wait wrapper;
+        # with no draws and no windows it must cost zero simulated time.
+        healthy = _run(None)
+        empty = _run(FaultPlan())
+        assert empty.elapsed == healthy.elapsed  # bit-identical, not approx
+        assert sum(s.retries for s in empty.stats) == 0
+        assert empty.run.tracer.health() == {}
+
+    def test_zero_prob_draws_do_not_perturb_timing(self):
+        healthy = _run(None)
+        drawn = _run(FaultPlan(get_fail_prob=0.0, seed=99))
+        assert drawn.elapsed == healthy.elapsed
+
+
+class TestDeterminism:
+    def test_same_plan_same_elapsed(self):
+        plan = FaultPlan(get_fail_prob=0.3, seed=21)
+        a = _run(plan)
+        b = _run(plan)
+        assert a.elapsed == b.elapsed
+        assert [s.retries for s in a.stats] == [s.retries for s in b.stats]
+
+    def test_different_seed_different_failures(self):
+        a = _run(FaultPlan(get_fail_prob=0.3, seed=1))
+        b = _run(FaultPlan(get_fail_prob=0.3, seed=2))
+        # Same probability, different stream: the retry pattern moves.
+        assert ([s.retries for s in a.stats] != [s.retries for s in b.stats]
+                or a.elapsed != b.elapsed)
+
+    def test_degraded_points_identical_across_jobs(self):
+        import dataclasses
+
+        plan = FaultPlan(
+            brownouts=(LinkBrownout(0, 0.0, 10.0, 0.5),),
+            get_fail_prob=0.3, seed=7)
+        specs = [PointSpec("srumma", LINUX_MYRINET, P, N, faults=plan),
+                 PointSpec("pdgemm", LINUX_MYRINET, P, N, faults=plan)]
+        serial = run_points(specs, jobs=1)
+        parallel = run_points(specs, jobs=2)
+        assert [dataclasses.asdict(p) for p in parallel] == \
+            [dataclasses.asdict(p) for p in serial]
+
+
+class TestGetTimeout:
+    def test_slow_get_times_out_and_recovers(self):
+        # A deep brownout makes remote gets crawl; a get_timeout treats
+        # them as failed and the retry (after the window) succeeds.
+        plan = FaultPlan(
+            brownouts=(LinkBrownout(0, 0.0, 0.002, 0.001),),
+            get_timeout=0.0005, seed=0)
+        res = _run(plan)
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert sum(s.retries for s in res.stats) > 0

@@ -336,6 +336,63 @@ def test_max_steps_guard():
         eng.run(max_steps=100)
 
 
+def test_max_steps_error_names_crashed_process_with_traceback():
+    # A run that spins past max_steps after a process died unobserved
+    # almost always spins *because* of that death; the guard's message
+    # must surface the first crash (name + formatted traceback) instead
+    # of leaving only a step count.
+    eng = Engine()
+
+    def doomed():
+        yield Timeout(0.01)
+        raise RuntimeError("rank 3 exploded")
+
+    def spinner():
+        while True:
+            yield Timeout(0.001)  # time advances, so the crash happens first
+
+    eng.spawn(doomed(), name="rank3")
+    eng.spawn(spinner(), name="poller")
+    with pytest.raises(SimulationError) as exc_info:
+        eng.run(max_steps=200, raise_crashes=False)
+    msg = str(exc_info.value)
+    assert "exceeded 200 engine steps" in msg
+    assert "'rank3'" in msg and "crashed unobserved" in msg
+    assert "RuntimeError: rank 3 exploded" in msg
+    assert "Traceback" in msg and "doomed" in msg
+
+
+def test_max_steps_error_counts_additional_crashes():
+    eng = Engine()
+
+    def doomed(i):
+        yield Timeout(0.01 * (i + 1))
+        raise ValueError(f"boom {i}")
+
+    def spinner():
+        while True:
+            yield Timeout(0.001)
+
+    for i in range(3):
+        eng.spawn(doomed(i), name=f"d{i}")
+    eng.spawn(spinner(), name="poller")
+    with pytest.raises(SimulationError, match=r"and 2 more"):
+        eng.run(max_steps=300, raise_crashes=False)
+
+
+def test_max_steps_error_without_crashes_is_bare():
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield Timeout(0.0)
+
+    eng.spawn(spinner())
+    with pytest.raises(SimulationError) as exc_info:
+        eng.run(max_steps=100)
+    assert "crashed" not in str(exc_info.value)
+
+
 def test_deterministic_replay():
     def build_and_run():
         eng = Engine()

@@ -1,0 +1,394 @@
+"""Tests for deterministic fault injection (plans, injector, draws).
+
+Load-bearing invariants:
+
+- a :class:`FaultPlan` is pure data: hashable, picklable, JSON
+  round-trippable, and validated at construction;
+- :func:`unit_uniform` is a stateless platform-independent stream;
+- ``FlowNetwork.set_bandwidth`` re-settles in-flight flows max-min
+  fairly at the instant of the change;
+- window restore is *exact*: after every window closes, each link is
+  back at its original bandwidth float, even with overlapping windows;
+- straggler dilation follows the closed-form piecewise walk.
+"""
+
+import pickle
+
+import pytest
+
+from repro.machines import LINUX_MYRINET
+from repro.sim import (
+    Engine,
+    FaultInjector,
+    FaultPlan,
+    FlowNetwork,
+    Link,
+    LinkBrownout,
+    Machine,
+    NicOutage,
+    StragglerWindow,
+    Timeout,
+    install_faults,
+    standard_degraded_plan,
+    unit_uniform,
+)
+
+BROWNOUT = LinkBrownout(node=0, t_start=1.0, t_end=2.0, factor=0.5)
+PLAN = FaultPlan(brownouts=(BROWNOUT,), get_fail_prob=0.1, seed=42)
+
+
+# -- plan data hygiene --------------------------------------------------------
+
+class TestFaultPlanData:
+    def test_hashable_and_equal_by_value(self):
+        assert hash(PLAN) == hash(FaultPlan(brownouts=(BROWNOUT,),
+                                            get_fail_prob=0.1, seed=42))
+        assert PLAN == FaultPlan(brownouts=(BROWNOUT,),
+                                 get_fail_prob=0.1, seed=42)
+        assert PLAN != FaultPlan(brownouts=(BROWNOUT,),
+                                 get_fail_prob=0.1, seed=43)
+
+    def test_pickle_roundtrip(self):
+        assert pickle.loads(pickle.dumps(PLAN)) == PLAN
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = standard_degraded_plan(0.5, seed=3)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_json_dict({"get_fail_prob": 0.5, "typo": 1})
+
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not PLAN.empty
+        assert not FaultPlan(get_fail_prob=0.01).empty
+
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(backoff_base=1e-3, backoff_factor=2.0)
+        assert plan.backoff(0) == 1e-3
+        assert plan.backoff(1) == 2e-3
+        assert plan.backoff(2) == 4e-3
+
+    @pytest.mark.parametrize("bad", [
+        lambda: LinkBrownout(0, -0.1, 1.0, 0.5),
+        lambda: LinkBrownout(0, 1.0, 1.0, 0.5),
+        lambda: LinkBrownout(0, 0.0, 1.0, 0.0),
+        lambda: LinkBrownout(0, 0.0, 1.0, 1.5),
+        lambda: LinkBrownout(0, 0.0, 1.0, 0.5, direction="sideways"),
+        lambda: NicOutage(0, 0.0, 1.0, residual=0.0),
+        lambda: StragglerWindow(0, 0.0, 1.0, 0.9),
+        lambda: FaultPlan(get_fail_prob=1.5),
+        lambda: FaultPlan(max_retries=-1),
+        lambda: FaultPlan(backoff_factor=0.5),
+        lambda: FaultPlan(get_timeout=0.0),
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+    def test_overlapping_straggler_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(stragglers=(StragglerWindow(1, 0.0, 2.0, 1.5),
+                                  StragglerWindow(1, 1.0, 3.0, 2.0)))
+        # Same windows on different ranks are fine.
+        FaultPlan(stragglers=(StragglerWindow(1, 0.0, 2.0, 1.5),
+                              StragglerWindow(2, 1.0, 3.0, 2.0)))
+
+    def test_standard_plan_is_seed_deterministic(self):
+        assert standard_degraded_plan(1.0, seed=5) == \
+            standard_degraded_plan(1.0, seed=5)
+        assert standard_degraded_plan(1.0, seed=5) != \
+            standard_degraded_plan(1.0, seed=6)
+        with pytest.raises(ValueError):
+            standard_degraded_plan(0.0)
+
+
+# -- the seeded stream --------------------------------------------------------
+
+class TestUnitUniform:
+    def test_deterministic_and_in_range(self):
+        draws = [unit_uniform(7, n) for n in range(1000)]
+        assert draws == [unit_uniform(7, n) for n in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_golden_values_are_platform_independent(self):
+        # splitmix64 is fully specified; these must never move.
+        assert unit_uniform(0, 0) == pytest.approx(0.6524484863740322)
+        assert unit_uniform(42, 1) == pytest.approx(0.4949295270895354)
+
+    def test_streams_differ_by_seed(self):
+        a = [unit_uniform(1, n) for n in range(100)]
+        b = [unit_uniform(2, n) for n in range(100)]
+        assert a != b
+
+    def test_mean_is_roughly_half(self):
+        draws = [unit_uniform(3, n) for n in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.5, abs=0.03)
+
+
+# -- mid-flight bandwidth changes ---------------------------------------------
+
+class TestSetBandwidth:
+    def test_rate_change_mid_flow(self):
+        eng = Engine()
+        net = FlowNetwork(eng)
+        link = Link("l", bandwidth=100.0)
+        done = net.transfer(1000.0, [link])
+
+        def chop():
+            yield Timeout(5.0)  # 500 B delivered at 100 B/s
+            net.set_bandwidth(link, 50.0)
+        eng.spawn(chop())
+        eng.run()
+        assert done.triggered
+        # Remaining 500 B at 50 B/s -> 10 more seconds.
+        assert eng.now == pytest.approx(15.0)
+
+    def test_restore_mid_flow(self):
+        eng = Engine()
+        net = FlowNetwork(eng)
+        link = Link("l", bandwidth=100.0)
+        done = net.transfer(2000.0, [link])
+
+        def dip():
+            yield Timeout(5.0)
+            net.set_bandwidth(link, 25.0)   # 500 B done; crawl
+            yield Timeout(20.0)
+            net.set_bandwidth(link, 100.0)  # 500 more done; restore
+        eng.spawn(dip())
+        eng.run()
+        assert done.triggered
+        assert eng.now == pytest.approx(5.0 + 20.0 + 1000.0 / 100.0)
+
+    def test_noop_change_marks_nothing_dirty(self):
+        eng = Engine()
+        net = FlowNetwork(eng)
+        link = Link("l", bandwidth=100.0)
+        done = net.transfer(1000.0, [link])
+        net.set_bandwidth(link, 100.0)
+        assert not net._dirty  # unchanged value short-circuits entirely
+        eng.run()
+        assert done.triggered
+        assert eng.now == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        eng = Engine()
+        net = FlowNetwork(eng)
+        with pytest.raises(ValueError):
+            net.set_bandwidth(Link("l", 10.0), 0.0)
+
+    def test_shared_link_resettles_fairly(self):
+        eng = Engine()
+        net = FlowNetwork(eng)
+        link = Link("l", bandwidth=100.0)
+        d1 = net.transfer(500.0, [link])
+        d2 = net.transfer(500.0, [link])
+
+        def chop():
+            yield Timeout(2.0)  # each flow has 100 B at 50 B/s
+            net.set_bandwidth(link, 20.0)
+        eng.spawn(chop())
+        eng.run()
+        # Remaining 400 B each at 10 B/s fair share -> 40 more seconds.
+        assert d1.triggered and d2.triggered
+        assert eng.now == pytest.approx(42.0)
+
+
+# -- injector windows ---------------------------------------------------------
+
+class TestInjectorWindows:
+    def test_brownout_window_applies_and_restores_exactly(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        plan = FaultPlan(brownouts=(LinkBrownout(0, 1.0, 2.0, 0.5),))
+        injector = install_faults(machine, plan)
+        injector.start()
+        node0 = machine.nodes[0]
+        base_out = node0.nic_out.bandwidth
+        base_in = node0.nic_in.bandwidth
+        seen = {}
+
+        def probe():
+            yield Timeout(1.5)
+            seen["mid"] = (node0.nic_out.bandwidth, node0.nic_in.bandwidth)
+            yield Timeout(1.0)
+            seen["after"] = (node0.nic_out.bandwidth, node0.nic_in.bandwidth)
+        machine.engine.spawn(probe())
+        machine.engine.run()
+        assert seen["mid"] == (base_out * 0.5, base_in * 0.5)
+        assert seen["after"] == (base_out, base_in)  # exact, not approx
+        assert machine.tracer.health().get("brownout") == 1
+
+    def test_overlapping_windows_restore_exactly(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        plan = FaultPlan(brownouts=(LinkBrownout(0, 1.0, 3.0, 0.3),
+                                    LinkBrownout(0, 2.0, 4.0, 0.7)))
+        injector = install_faults(machine, plan)
+        injector.start()
+        link = machine.nodes[0].nic_out
+        base = link.bandwidth
+        seen = {}
+
+        def probe():
+            yield Timeout(2.5)
+            seen["both"] = link.bandwidth
+            yield Timeout(1.0)
+            seen["second"] = link.bandwidth
+            yield Timeout(1.0)
+            seen["after"] = link.bandwidth
+        machine.engine.spawn(probe())
+        machine.engine.run()
+        assert seen["both"] == pytest.approx(base * 0.3 * 0.7)
+        assert seen["second"] == pytest.approx(base * 0.7)
+        assert seen["after"] == base  # bit-exact restore
+
+    def test_outage_hits_both_directions(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        plan = FaultPlan(outages=(NicOutage(1, 0.5, 1.5, residual=1e-3),))
+        install_faults(machine, plan).start()
+        node1 = machine.nodes[1]
+        base = node1.nic_out.bandwidth
+        seen = {}
+
+        def probe():
+            yield Timeout(1.0)
+            seen["mid"] = (node1.nic_out.bandwidth, node1.nic_in.bandwidth)
+        machine.engine.spawn(probe())
+        machine.engine.run()
+        assert seen["mid"][0] == pytest.approx(base * 1e-3)
+        assert seen["mid"][1] == pytest.approx(base * 1e-3)
+        assert node1.nic_out.bandwidth == base
+
+    def test_interrupted_window_still_restores(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        plan = FaultPlan(brownouts=(LinkBrownout(0, 0.5, 100.0, 0.5),))
+        injector = install_faults(machine, plan)
+        procs = injector.start()
+        link = machine.nodes[0].nic_out
+        base = link.bandwidth
+
+        def supervisor():
+            yield Timeout(1.0)  # mid-window
+            assert link.bandwidth == base * 0.5
+            for p in procs:
+                p.interrupt()
+        machine.engine.spawn(supervisor())
+        machine.engine.run()
+        assert link.bandwidth == base
+
+    def test_interrupt_before_window_never_applies(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        plan = FaultPlan(brownouts=(LinkBrownout(0, 50.0, 100.0, 0.5),))
+        injector = install_faults(machine, plan)
+        procs = injector.start()
+        link = machine.nodes[0].nic_out
+        base = link.bandwidth
+
+        def supervisor():
+            yield Timeout(1.0)
+            for p in procs:
+                p.interrupt()
+        machine.engine.spawn(supervisor())
+        machine.engine.run()
+        assert link.bandwidth == base
+        assert machine.tracer.health().get("brownout") is None
+
+    def test_install_twice_rejected(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        install_faults(machine, FaultPlan())
+        with pytest.raises(ValueError, match="already has a fault plan"):
+            install_faults(machine, FaultPlan())
+
+    def test_out_of_range_node_and_rank_rejected(self):
+        machine = Machine(LINUX_MYRINET, 4)  # 2 nodes
+        with pytest.raises(ValueError, match="out of range"):
+            FaultInjector(machine, FaultPlan(
+                brownouts=(LinkBrownout(7, 0.0, 1.0, 0.5),)))
+        with pytest.raises(IndexError):
+            FaultInjector(machine, FaultPlan(
+                stragglers=(StragglerWindow(9, 0.0, 1.0, 2.0),)))
+
+
+# -- seeded get-failure draws -------------------------------------------------
+
+class TestGetFailureDraws:
+    def _injector(self, plan):
+        return install_faults(Machine(LINUX_MYRINET, 4), plan)
+
+    def test_draw_sequence_is_deterministic(self):
+        a = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
+        b = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
+        assert [a.draw_get_failure() for _ in range(200)] == \
+            [b.draw_get_failure() for _ in range(200)]
+
+    def test_zero_prob_never_fails_but_advances_counter(self):
+        inj = self._injector(FaultPlan(get_fail_prob=0.0))
+        assert not any(inj.draw_get_failure() for _ in range(50))
+        assert inj._get_draws == 50
+
+    def test_prob_one_always_fails(self):
+        inj = self._injector(FaultPlan(get_fail_prob=1.0))
+        assert all(inj.draw_get_failure() for _ in range(50))
+
+    def test_observed_rate_tracks_probability(self):
+        inj = self._injector(FaultPlan(get_fail_prob=0.2, seed=4))
+        fails = sum(inj.draw_get_failure() for _ in range(5000))
+        assert fails / 5000 == pytest.approx(0.2, abs=0.03)
+
+
+# -- straggler dilation -------------------------------------------------------
+
+class TestWallTime:
+    def _injector(self, *windows):
+        return install_faults(Machine(LINUX_MYRINET, 8),
+                              FaultPlan(stragglers=tuple(windows)))
+
+    def test_no_window_is_identity(self):
+        inj = self._injector()
+        assert inj.wall_time(0, 5.0, 3.0) == 3.0
+
+    def test_fully_inside_window(self):
+        inj = self._injector(StragglerWindow(2, 0.0, 100.0, 2.0))
+        assert inj.wall_time(2, 10.0, 3.0) == pytest.approx(6.0)
+        # Other ranks unaffected.
+        assert inj.wall_time(3, 10.0, 3.0) == 3.0
+
+    def test_straddles_window_open(self):
+        inj = self._injector(StragglerWindow(0, 10.0, 100.0, 2.0))
+        # 4 s healthy before the window, remaining 2 CPU-s at half speed.
+        assert inj.wall_time(0, 6.0, 6.0) == pytest.approx(4.0 + 4.0)
+
+    def test_straddles_window_close(self):
+        inj = self._injector(StragglerWindow(0, 0.0, 10.0, 2.0))
+        # From t=6: window has 4 wall-s left -> 2 CPU-s; remaining 3 healthy.
+        assert inj.wall_time(0, 6.0, 5.0) == pytest.approx(4.0 + 3.0)
+
+    def test_spans_two_windows(self):
+        inj = self._injector(StragglerWindow(0, 2.0, 4.0, 2.0),
+                             StragglerWindow(0, 6.0, 8.0, 4.0))
+        # From t=0, 6 CPU-s: 2 healthy, 1 in w1 (2 wall), 2 healthy,
+        # 0.5 in w2 (2 wall), 0.5 healthy after.
+        assert inj.wall_time(0, 0.0, 6.0) == pytest.approx(
+            2.0 + 2.0 + 2.0 + 2.0 + 0.5)
+
+    def test_zero_work(self):
+        inj = self._injector(StragglerWindow(0, 0.0, 1.0, 3.0))
+        assert inj.wall_time(0, 0.0, 0.0) == 0.0
+
+    def test_cpu_busy_dilates_on_engine_clock(self):
+        machine = Machine(LINUX_MYRINET, 4)
+        install_faults(machine, FaultPlan(
+            stragglers=(StragglerWindow(1, 0.0, 100.0, 3.0),)))
+        walls = {}
+
+        def busy(rank):
+            wall = yield from machine.cpu_busy(rank, 2.0)
+            walls[rank] = (wall, machine.engine.now)
+        machine.engine.spawn(busy(0))
+        machine.engine.spawn(busy(1))
+        machine.engine.run()
+        assert walls[0] == (2.0, 2.0)
+        assert walls[1][0] == pytest.approx(6.0)
+        assert walls[1][1] == pytest.approx(6.0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, FlowNetwork, Link, Timeout
+from repro.sim import Engine, FlowNetwork, Interrupt, Link, Timeout
 
 
 def make_net():
@@ -195,3 +195,67 @@ def test_many_flows_conservation():
     total_carried = sum(l.bytes_carried for l in links)
     # Each flow crosses 1 or 2 links; carried >= sum(sizes).
     assert total_carried >= sum(sizes) - 1e-6
+
+
+# -- aborting in-flight transfers (fault-injection / interrupt support) -------
+
+def test_abort_removes_flow_and_resettles_contender():
+    """A process interrupted mid-transfer aborts its flow: the flow leaves
+    the link without counting as completed and the surviving contender's
+    share re-settles to the full bandwidth from that instant."""
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    victim_done = net.transfer(1000.0, [link])
+    survivor_done = net.transfer(1000.0, [link])
+    outcome = {}
+
+    def victim():
+        try:
+            yield victim_done
+            outcome["victim"] = "finished"
+        except Interrupt:
+            net.abort(victim_done)
+            outcome["victim"] = "aborted"
+
+    def killer(proc):
+        yield Timeout(4.0)  # each flow has 200 B at the 50 B/s fair share
+        proc.interrupt()
+
+    vp = eng.spawn(victim())
+    eng.spawn(killer(vp))
+    eng.run()
+    assert outcome["victim"] == "aborted"
+    assert survivor_done.triggered
+    # Survivor: 200 B at 50 B/s, then 800 B alone at 100 B/s.
+    assert eng.now == pytest.approx(4.0 + 8.0)
+    assert net.aborted_flows == 1
+    assert net.completed_flows == 1
+    assert net.active_flow_count == 0
+    assert not link.flows
+
+
+def test_abort_unknown_event_returns_false():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    done = net.transfer(100.0, [link])
+    eng.run()
+    assert done.triggered
+    assert net.abort(done) is False  # already completed, nothing to tear down
+    assert net.aborted_flows == 0
+
+
+def test_abort_sole_flow_leaves_link_idle():
+    eng, net = make_net()
+    link = Link("l", bandwidth=100.0)
+    done = net.transfer(1000.0, [link])
+
+    def aborter():
+        yield Timeout(2.0)
+        assert net.abort(done) is True
+    eng.spawn(aborter())
+    eng.run()
+    assert not done.triggered
+    assert not link.flows
+    assert net.aborted_flows == 1
+    # Partial progress was settled onto the link's accounting.
+    assert link.bytes_carried == pytest.approx(200.0)
