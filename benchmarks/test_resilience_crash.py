@@ -1,0 +1,97 @@
+"""Hard node failure: SRUMMA recovers in place, baselines restart.
+
+A node dies at 25/50/75 % of the run.  SRUMMA's one-sided owner-computes
+structure lets the survivors finish the dead ranks' work: gets redirect
+to declustered replicas, the dynamic scheduler re-executes the residue
+past the last durable buddy checkpoint, and one write-back per survivor
+lands the recovered C blocks.  SUMMA's and Cannon's synchronous pipelines
+have no such seam — a dead peer stalls every round — so they are charged
+the classic restart-from-checkpoint model against their own healthy
+runtime (checkpoint writes, detection, reload, re-execution on the
+survivors; see ``repro.bench.experiments._crash``).
+
+Expected shape: SRUMMA's completion-time inflation is strictly below
+both restart models at every failure point, and everything is
+deterministic (the crash instant derives from the healthy elapsed, the
+plan is pure data, the draws are counter-indexed).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_experiment
+
+FRACS = ("25%", "50%", "75%")
+
+
+@pytest.fixture(scope="module")
+def crash_result():
+    return run_experiment("crash", full=True, jobs=1, fault_seed=0)
+
+
+def _by_alg_frac(result):
+    _, headers, rows = result
+    infl = headers.index("inflation")
+    return {(row[0], row[1]): row[infl] for row in rows}
+
+
+def test_crash_table(crash_result, save_result):
+    title, headers, rows = crash_result
+    save_result("resilience_crash", format_table(headers, rows, title=title))
+
+
+def test_sweep_covers_every_failure_point(crash_result):
+    table = _by_alg_frac(crash_result)
+    assert set(table) == {(alg, frac)
+                          for alg in ("srumma", "summa", "cannon")
+                          for frac in FRACS}
+
+
+def test_srumma_recovery_beats_restart_everywhere(crash_result):
+    """The tentpole claim: in-place recovery inflates completion strictly
+    less than restart-from-checkpoint, at every failure point."""
+    table = _by_alg_frac(crash_result)
+    for frac in FRACS:
+        assert table[("srumma", frac)] < table[("summa", frac)], frac
+        assert table[("srumma", frac)] < table[("cannon", frac)], frac
+
+
+def test_crash_actually_bites(crash_result):
+    """No vacuous wins: every algorithm pays a visible recovery cost."""
+    table = _by_alg_frac(crash_result)
+    assert all(v > 1.05 for v in table.values())
+
+
+def test_healthy_baseline_constant_within_algorithm(crash_result):
+    _, headers, rows = crash_result
+    h = headers.index("healthy ms")
+    for alg in ("srumma", "summa", "cannon"):
+        baselines = {row[h] for row in rows if row[0] == alg}
+        assert len(baselines) == 1, alg
+
+
+def test_restart_model_cost_grows_with_failure_time(crash_result):
+    """The analytic baselines lose more the later the node dies (more
+    wall-clock thrown away); SRUMMA's simulated recovery must not grow
+    *faster* than the worst restart model does."""
+    table = _by_alg_frac(crash_result)
+    for alg in ("summa", "cannon"):
+        assert (table[(alg, "25%")] < table[(alg, "50%")]
+                < table[(alg, "75%")])
+    srumma_span = table[("srumma", "75%")] - table[("srumma", "25%")]
+    worst_span = max(table[(alg, "75%")] - table[(alg, "25%")]
+                     for alg in ("summa", "cannon"))
+    assert srumma_span <= worst_span
+
+
+def test_result_is_deterministic(crash_result):
+    again = run_experiment("crash", full=True, jobs=1, fault_seed=0)
+    assert again[2] == crash_result[2]
+
+
+@pytest.mark.slow
+def test_resilience_crash_benchmark(benchmark, crash_result, save_result):
+    test_crash_table(crash_result, save_result)
+    benchmark.pedantic(
+        lambda: run_experiment("crash", full=False, jobs=1),
+        rounds=3, iterations=1)

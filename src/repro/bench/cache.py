@@ -69,11 +69,15 @@ __all__ = [
     "point_key",
 ]
 
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 """Bump when the key anatomy or the entry format changes; old disk
 namespaces become unreachable (and reapable) rather than misread.
 History: 2 added the ``faults`` field (fault-injection plans) to the key
-anatomy, so degraded runs can never collide with healthy ones."""
+anatomy, so degraded runs can never collide with healthy ones; 3 covers
+the crash/ABFT fault-plan extension (``crashes``, ``corruption_rate``,
+``checkpoint_interval`` — picked up automatically by the dataclass walk
+in ``_canon``) plus the per-rank draw-stream change, which shifts every
+degraded-run result."""
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 

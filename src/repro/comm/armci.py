@@ -35,8 +35,9 @@ from typing import Any, Callable, Optional, Sequence, Union
 import numpy as np
 
 from ..sim.cluster import Machine
+from ..sim.engine import Event, Interrupt
 from ..sim.network import Link
-from .base import CommError, GetFailedError, Request
+from .base import CommError, GetFailedError, NodeCrashedError, Request
 
 __all__ = ["ArmciRuntime", "Armci"]
 
@@ -113,6 +114,52 @@ class ArmciRuntime:
         # segments; each value is a python int mutated atomically at the
         # simulated completion instant.
         self._counters: dict[tuple[int, str], int] = {}
+        # In-flight operations tracked for the node-crash sweep (populated
+        # only when the fault plan contains crashes; empty overhead
+        # otherwise).  Keyed by completion event -> (caller, target, req).
+        self._inflight: dict[Event, tuple[int, int, "Request"]] = {}
+        machine.on_node_crash(self._node_crashed)
+
+    # -- hard-failure handling ---------------------------------------------
+    def _track_inflight(self, caller: int, target: int,
+                        req: "Request") -> "Request":
+        faults = self.machine.faults
+        if faults is None or not getattr(faults, "has_crashes", False):
+            return req
+        if req.done.triggered:
+            return req
+        self._inflight[req.done] = (caller, target, req)
+        done = req.done
+        done.add_callback(lambda _ev: self._inflight.pop(done, None))
+        return req
+
+    def _node_crashed(self, node: int) -> None:
+        """Sweep in-flight operations touching the dead node.
+
+        Runs synchronously at the kill instant, before the rank processes
+        on the node are interrupted (listener registration order): a dead
+        *caller*'s transport is torn down silently — its completion event
+        stays untriggered so the imminent interrupt cannot race a late
+        success — while an operation whose *target* died fails with
+        :class:`NodeCrashedError` so the live caller's robust wait can
+        re-issue against the replica.
+        """
+        machine = self.machine
+        for done, (caller, target, req) in list(self._inflight.items()):
+            if done.triggered:
+                continue
+            caller_dead = machine.rank_is_dead(caller)
+            target_dead = machine.rank_is_dead(target)
+            if not (caller_dead or target_dead):
+                continue
+            self._inflight.pop(done, None)
+            if caller_dead:
+                hook, req._cancel_hook = req._cancel_hook, None
+                if hook is not None:
+                    hook()
+            else:
+                req.cancel(NodeCrashedError(
+                    node, f"{req.kind} targeting rank {target}"))
 
     def _track(self, caller: int, target: int, req: "Request") -> "Request":
         pend = self._outstanding.setdefault((caller, target), [])
@@ -179,6 +226,15 @@ class ArmciRuntime:
         machine.tracer.bump("armci_get")
         sg_extra = max(0, segments - 1) * spec.network.sg_overhead
 
+        if machine.dead_nodes and machine.rank_is_dead(target):
+            # The owner died: serve the get from a replica shard.  Timing
+            # and contention follow the replica's links; the payload is
+            # still read from the registry, which models the replica's
+            # identical copy.  Spreading by caller declusters the
+            # reconstruction reads across live nodes.
+            target = machine.replica_of(target, spread=caller)
+            machine.tracer.bump("fault:get_redirected")
+
         if machine.same_domain(caller, target):
             # Intra-domain get: the calling CPU performs a memcpy through the
             # node memory system (or NUMA fabric).  Contends max-min fairly
@@ -188,20 +244,33 @@ class ArmciRuntime:
             def copier():
                 cpu = machine.cpu(caller)
                 t0 = engine.now
-                yield cpu.request()
+                grant = cpu.request()
                 try:
-                    yield machine.transfer(
-                        nbytes, self._stream_path(target, caller),
-                        latency=spec.memory.shmem_latency,
-                        label=f"armci-get-shm {target}->{caller}")
+                    yield grant
+                except Interrupt:
+                    if not cpu.cancel(grant):
+                        cpu.release()
+                    return
+                flow = machine.transfer(
+                    nbytes, self._stream_path(target, caller),
+                    latency=spec.memory.shmem_latency,
+                    label=f"armci-get-shm {target}->{caller}")
+                try:
+                    yield flow
+                except Interrupt:
+                    machine.net.abort(flow)
+                    return
                 finally:
                     cpu.release()
                 machine.tracer.account(caller, "copy", engine.now - t0)
                 deliver()
-                done.succeed(nbytes)
+                if not done.triggered:
+                    done.succeed(nbytes)
 
-            engine.spawn(copier(), name=f"armci-shm-get@{caller}")
-            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+            proc = engine.spawn(copier(), name=f"armci-shm-get@{caller}")
+            req = Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+            req._cancel_hook = proc.interrupt
+            return self._track_inflight(caller, target, req)
 
         # Remote-domain get over the interconnect.
         path = machine.network_path(target, caller)  # data flows target->caller
@@ -209,14 +278,21 @@ class ArmciRuntime:
 
         faults = machine.faults
         if (faults is not None and failable and not reliable
-                and faults.draw_get_failure()):
+                and faults.draw_get_failure(caller)):
             # Injected in-flight loss: no payload moves; the caller observes
             # GetFailedError after the plan's detection delay.
             machine.tracer.bump("fault:get_failed")
             engine._schedule(
                 faults.plan.detect_timeout,
-                lambda: done.fail(GetFailedError(caller, target, nbytes)))
-            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+                lambda: (done.fail(GetFailedError(caller, target, nbytes))
+                         if not done.triggered else None))
+            req = Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+            return self._track_inflight(caller, target, req)
+
+        corrupted = (faults is not None and failable and not reliable
+                     and faults.draw_corruption(caller))
+        if corrupted:
+            machine.tracer.bump("fault:corruption_injected")
 
         if spec.network.zero_copy and not reliable:
             flow = machine.transfer(
@@ -224,11 +300,16 @@ class ArmciRuntime:
                 label=f"armci-get {target}->{caller}")
 
             def finish(_ev):
+                if done.triggered:
+                    return
                 deliver()
                 done.succeed(nbytes)
 
             flow.add_callback(finish)
-            return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+            req = Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+            req.corrupted = corrupted
+            req._cancel_hook = lambda: machine.net.abort(flow)
+            return self._track_inflight(caller, target, req)
 
         # Host-assisted protocol: the request travels to the target, whose
         # CPU copies user buffer -> DMA buffer *pipelined* with the wire
@@ -237,9 +318,18 @@ class ArmciRuntime:
         # for the copy — stolen FIFO from whatever computation the target
         # is doing (the Fig. 9 mechanism).
         def host_assisted():
-            yield engine.timeout(spec.network.rma_latency / 2.0)
+            try:
+                yield engine.timeout(spec.network.rma_latency / 2.0)
+            except Interrupt:
+                return
             cpu = machine.cpu(target)
-            yield cpu.request()
+            grant = cpu.request()
+            try:
+                yield grant
+            except Interrupt:
+                if not cpu.cancel(grant):
+                    cpu.release()
+                return
             copy_time = nbytes / spec.network.host_copy_bandwidth
             stream = Link("hostcopy-stream", spec.network.host_copy_bandwidth)
             flow = machine.transfer(
@@ -251,16 +341,27 @@ class ArmciRuntime:
                 try:
                     wall = yield from machine.cpu_busy(target, copy_time)
                     machine.tracer.account(target, "copy", wall)
+                except Interrupt:
+                    return
                 finally:
                     cpu.release()
 
             copy_done = engine.spawn(copier(), name=f"armci-hc-copy@{target}")
-            yield engine.all_of([flow, copy_done])
+            try:
+                yield engine.all_of([flow, copy_done])
+            except Interrupt:
+                machine.net.abort(flow)
+                copy_done.interrupt()
+                return
             deliver()
-            done.succeed(nbytes)
+            if not done.triggered:
+                done.succeed(nbytes)
 
-        engine.spawn(host_assisted(), name=f"armci-hc-get@{target}")
-        return Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+        proc = engine.spawn(host_assisted(), name=f"armci-hc-get@{target}")
+        req = Request(done, kind="get", nbytes=nbytes, issued_at=engine.now)
+        req.corrupted = corrupted
+        req._cancel_hook = proc.interrupt
+        return self._track_inflight(caller, target, req)
 
     def put_transfer(self, caller: int, target: int, nbytes: float,
                      deliver: Callable[[], None] = _noop) -> Request:
@@ -271,24 +372,44 @@ class ArmciRuntime:
         machine.tracer.bump("armci_put")
         done = engine.event("armci.put")
 
+        if machine.dead_nodes and machine.rank_is_dead(target):
+            # Puts to a dead rank land on its replica shard (checkpoint
+            # shipping and recovery write-back keep working after a buddy
+            # dies), spread by caller like redirected gets.
+            target = machine.replica_of(target, spread=caller)
+            machine.tracer.bump("fault:put_redirected")
+
         if machine.same_domain(caller, target):
             def copier():
                 cpu = machine.cpu(caller)
                 t0 = engine.now
-                yield cpu.request()
+                grant = cpu.request()
                 try:
-                    yield machine.transfer(
-                        nbytes, self._stream_path(caller, target),
-                        latency=spec.memory.shmem_latency,
-                        label=f"armci-put-shm {caller}->{target}")
+                    yield grant
+                except Interrupt:
+                    if not cpu.cancel(grant):
+                        cpu.release()
+                    return
+                flow = machine.transfer(
+                    nbytes, self._stream_path(caller, target),
+                    latency=spec.memory.shmem_latency,
+                    label=f"armci-put-shm {caller}->{target}")
+                try:
+                    yield flow
+                except Interrupt:
+                    machine.net.abort(flow)
+                    return
                 finally:
                     cpu.release()
                 machine.tracer.account(caller, "copy", engine.now - t0)
                 deliver()
-                done.succeed(nbytes)
+                if not done.triggered:
+                    done.succeed(nbytes)
 
-            engine.spawn(copier(), name=f"armci-shm-put@{caller}")
-            return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+            proc = engine.spawn(copier(), name=f"armci-shm-put@{caller}")
+            req = Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+            req._cancel_hook = proc.interrupt
+            return self._track_inflight(caller, target, req)
 
         path = machine.network_path(caller, target)
 
@@ -297,15 +418,25 @@ class ArmciRuntime:
                                     label=f"armci-put {caller}->{target}")
 
             def finish(_ev):
+                if done.triggered:
+                    return
                 deliver()
                 done.succeed(nbytes)
 
             flow.add_callback(finish)
-            return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+            req = Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+            req._cancel_hook = lambda: machine.net.abort(flow)
+            return self._track_inflight(caller, target, req)
 
         def host_assisted():
             cpu = machine.cpu(target)
-            yield cpu.request()
+            grant = cpu.request()
+            try:
+                yield grant
+            except Interrupt:
+                if not cpu.cancel(grant):
+                    cpu.release()
+                return
             copy_time = nbytes / spec.network.host_copy_bandwidth
             stream = Link("hostcopy-stream", spec.network.host_copy_bandwidth)
             flow = machine.transfer(nbytes, [stream] + list(path),
@@ -316,16 +447,26 @@ class ArmciRuntime:
                 try:
                     wall = yield from machine.cpu_busy(target, copy_time)
                     machine.tracer.account(target, "copy", wall)
+                except Interrupt:
+                    return
                 finally:
                     cpu.release()
 
             copy_done = engine.spawn(copier(), name=f"armci-hc-copy@{target}")
-            yield engine.all_of([flow, copy_done])
+            try:
+                yield engine.all_of([flow, copy_done])
+            except Interrupt:
+                machine.net.abort(flow)
+                copy_done.interrupt()
+                return
             deliver()
-            done.succeed(nbytes)
+            if not done.triggered:
+                done.succeed(nbytes)
 
-        engine.spawn(host_assisted(), name=f"armci-hc-put@{target}")
-        return Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+        proc = engine.spawn(host_assisted(), name=f"armci-hc-put@{target}")
+        req = Request(done, kind="put", nbytes=nbytes, issued_at=engine.now)
+        req._cancel_hook = proc.interrupt
+        return self._track_inflight(caller, target, req)
 
     def acc_transfer(self, caller: int, target: int, nbytes: float,
                      n_elements: int,
@@ -339,32 +480,52 @@ class ArmciRuntime:
         machine.tracer.bump("armci_acc")
         done = engine.event("armci.acc")
 
+        if machine.dead_nodes and machine.rank_is_dead(target):
+            target = machine.replica_of(target, spread=caller)
+            machine.tracer.bump("fault:put_redirected")
+
         def accumulate():
             # Move the payload like a put (wire or intra-domain memcpy)...
             if machine.same_domain(caller, target):
                 stream = self._stream_path(caller, target)
-                yield machine.transfer(nbytes, stream,
-                                       latency=spec.memory.shmem_latency,
-                                       label=f"armci-acc-shm {caller}->{target}")
+                flow = machine.transfer(nbytes, stream,
+                                        latency=spec.memory.shmem_latency,
+                                        label=f"armci-acc-shm {caller}->{target}")
             else:
                 path = machine.network_path(caller, target)
-                yield machine.transfer(nbytes, path,
-                                       latency=spec.network.latency,
-                                       label=f"armci-acc {caller}->{target}")
+                flow = machine.transfer(nbytes, path,
+                                        latency=spec.network.latency,
+                                        label=f"armci-acc {caller}->{target}")
+            try:
+                yield flow
+            except Interrupt:
+                machine.net.abort(flow)
+                return
             # ...then the target CPU performs the addition (1 flop/element).
             cpu = machine.cpu(target)
-            yield cpu.request()
+            grant = cpu.request()
+            try:
+                yield grant
+            except Interrupt:
+                if not cpu.cancel(grant):
+                    cpu.release()
+                return
             try:
                 add_time = n_elements / spec.cpu.flops
                 wall = yield from machine.cpu_busy(target, add_time)
                 machine.tracer.account(target, "copy", wall)
+            except Interrupt:
+                return
             finally:
                 cpu.release()
             deliver()
-            done.succeed(nbytes)
+            if not done.triggered:
+                done.succeed(nbytes)
 
-        engine.spawn(accumulate(), name=f"armci-acc@{target}")
-        return Request(done, kind="acc", nbytes=nbytes, issued_at=engine.now)
+        proc = engine.spawn(accumulate(), name=f"armci-acc@{target}")
+        req = Request(done, kind="acc", nbytes=nbytes, issued_at=engine.now)
+        req._cancel_hook = proc.interrupt
+        return self._track_inflight(caller, target, req)
 
     # -- data-carrying issue helpers --------------------------------------------
     def _issue_get(self, caller: int, target: int, key: str,
@@ -383,9 +544,17 @@ class ArmciRuntime:
         def deliver():
             out[oidx] = payload.reshape(out[oidx].shape)
 
-        return self.get_transfer(caller, target, float(payload.nbytes), deliver,
-                                 segments=_section_segments(src.shape, sidx),
-                                 reliable=reliable)
+        req = self.get_transfer(caller, target, float(payload.nbytes), deliver,
+                                segments=_section_segments(src.shape, sidx),
+                                reliable=reliable)
+        if req.corrupted and payload.size and payload.dtype == np.float64:
+            # Injected silent corruption: flip the low exponent bit of one
+            # element of the in-flight payload (the snapshot, never the
+            # source array), so the delivered section really is wrong and
+            # only an ABFT checksum can tell.
+            flat = payload.reshape(-1).view(np.int64)
+            flat[payload.size // 2] ^= np.int64(1) << np.int64(52)
+        return req
 
     def _issue_put(self, caller: int, target: int, key: str,
                    dst_index: Optional[Index], data: np.ndarray) -> Request:

@@ -29,7 +29,7 @@ from ..sim.engine import Engine, Event
 from ..sim.trace import Tracer
 
 __all__ = ["Request", "CommError", "GetFailedError", "WaitTimeout",
-           "RankContext", "ParallelRun", "run_parallel"]
+           "NodeCrashedError", "RankContext", "ParallelRun", "run_parallel"]
 
 
 class CommError(RuntimeError):
@@ -56,6 +56,22 @@ class WaitTimeout(CommError):
     """``Request.wait(timeout=...)`` expired before the operation finished."""
 
 
+class NodeCrashedError(CommError):
+    """An operation touched a node that hard-failed (``NodeCrash``).
+
+    Raised out of a pending request's wait when the target node dies, and
+    thrown (as an :class:`~repro.sim.engine.Interrupt` cause) into rank
+    processes living on the dead node.  Survivors catching it from a get
+    re-issue against the dead owner's replica; the recovery protocol then
+    re-executes the dead ranks' remaining tasks (``docs/resilience.md``).
+    """
+
+    def __init__(self, node: int, detail: str = ""):
+        self.node = node
+        super().__init__(
+            f"node {node} crashed" + (f": {detail}" if detail else ""))
+
+
 class Request:
     """Handle for a nonblocking operation.
 
@@ -64,7 +80,8 @@ class Request:
     """
 
     __slots__ = ("done", "kind", "nbytes", "issued_at", "completed_at",
-                 "on_complete", "_rendezvous_state")
+                 "on_complete", "_rendezvous_state", "_cancel_hook",
+                 "corrupted", "verified")
 
     def __init__(self, done: Event, kind: str = "", nbytes: float = 0.0,
                  issued_at: float = 0.0):
@@ -75,6 +92,15 @@ class Request:
         self.completed_at: Optional[float] = None
         self.on_complete: Optional[Callable[[], None]] = None
         self._rendezvous_state = None  # set by the MPI layer for isends
+        # Transport teardown installed by the issuing layer: aborts the
+        # in-flight flow / protocol process without touching `done`.
+        self._cancel_hook: Optional[Callable[[], None]] = None
+        # ABFT bookkeeping (see repro.distarray.abft): `corrupted` marks a
+        # get whose payload carries an injected bit flip; `verified` marks
+        # one whose checksum test already passed, so cached-patch sharers
+        # need not re-verify.
+        self.corrupted = False
+        self.verified = False
         if done.engine is not None:
             done.add_callback(self._stamp)
 
@@ -92,17 +118,36 @@ class Request:
         """True once the operation has completed."""
         return self.done.triggered
 
+    def cancel(self, exc: Optional[BaseException] = None) -> bool:
+        """Tear down a still-pending operation; returns True if it was live.
+
+        Runs the issuing layer's transport teardown (aborting the
+        in-flight flow or protocol process), then fails ``done`` with
+        ``exc`` so any other waiter sharing this request observes the
+        cancellation instead of blocking forever.  A no-op (False) once
+        the operation has completed.
+        """
+        if self.done.triggered:
+            return False
+        hook, self._cancel_hook = self._cancel_hook, None
+        if hook is not None:
+            hook()
+        if not self.done.triggered:
+            self.done.fail(exc if exc is not None else CommError(
+                f"{self.kind or 'request'} of {self.nbytes:.0f}B cancelled"))
+        return True
+
     def wait(self, timeout: Optional[float] = None) -> Generator:
         """Yieldable wait, optionally bounded in *simulated* time.
 
         ``yield from request.wait()`` is equivalent to ``yield
         request.done`` (failures raise).  With a ``timeout``, a request
-        still pending after that many simulated seconds raises
-        :class:`WaitTimeout` — the operation itself is *not* cancelled and
-        may still complete later, so callers deciding to re-issue should
-        treat the old request as abandoned.  Unlike ``ctx.wait`` this does
-        no trace accounting; it is the low-level primitive robust waits
-        build on.
+        still pending after that many simulated seconds is *cancelled* —
+        its in-flight flow is aborted so no leaked events linger in the
+        engine — and :class:`WaitTimeout` is raised; callers deciding to
+        re-issue must treat the old request as dead.  Unlike ``ctx.wait``
+        this does no trace accounting; it is the low-level primitive
+        robust waits build on.
         """
         done = self.done
         if timeout is None or done.triggered:
@@ -112,9 +157,11 @@ class Request:
         race = engine.any_of([done, engine.timeout(timeout)])
         yield race
         if not done.triggered:
-            raise WaitTimeout(
+            timed_out = WaitTimeout(
                 f"{self.kind or 'request'} of {self.nbytes:.0f}B still "
                 f"pending after {timeout:g}s")
+            self.cancel(timed_out)
+            raise timed_out
         if not done.ok:
             raise done.value
         return done.value
@@ -323,6 +370,26 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
     shmem_rt = ShmemRuntime(machine)
     shmem_rt.bind(armci_rt)
 
+    has_crashes = faults is not None and bool(getattr(faults, "crashes", ()))
+
+    def crash_tolerant(gen):
+        # A rank living on a crashed node is interrupted with a
+        # NodeCrashedError cause; it unwinds (finally blocks release its
+        # CPU) and "returns" None so the supervisor and the post-run
+        # checks see a cleanly-completed process, not a crash to re-raise.
+        from ..sim.engine import Interrupt
+
+        def wrapper():
+            try:
+                result = yield from gen
+            except Interrupt as exc:
+                if isinstance(exc.cause, NodeCrashedError):
+                    return None
+                raise
+            return result
+
+        return wrapper()
+
     procs = []
     for rank in range(machine.nranks):
         ctx = RankContext(
@@ -331,7 +398,24 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
             mpi=Mpi(mpi_rt, rank),
             shmem=Shmem(shmem_rt, rank),
         )
-        procs.append(machine.engine.spawn(rank_fn(ctx), name=f"rank{rank}"))
+        body = rank_fn(ctx)
+        if has_crashes:
+            body = crash_tolerant(body)
+        procs.append(machine.engine.spawn(body, name=f"rank{rank}"))
+
+    if has_crashes:
+        cpn = machine.spec.cpus_per_node
+
+        def kill_ranks(node: int) -> None:
+            # Runs after the armci runtime's in-flight sweep (listener
+            # registration order): dead callers' requests are already torn
+            # down, so interrupting the rank cannot race a late completion.
+            for rank in range(node * cpn, min((node + 1) * cpn, machine.nranks)):
+                p = procs[rank]
+                if not p.triggered:
+                    p.interrupt(NodeCrashedError(node, f"rank {rank} died"))
+
+        machine.on_node_crash(kill_ranks)
 
     daemons = []
     if interference is not None:

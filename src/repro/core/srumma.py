@@ -34,11 +34,14 @@ from typing import Generator, Optional, Union
 import numpy as np
 
 from ..comm.armci import _section_segments
-from ..comm.base import GetFailedError, RankContext, Request, WaitTimeout
+from ..comm.base import (GetFailedError, NodeCrashedError, RankContext,
+                         Request, WaitTimeout)
+from ..distarray.abft import checksums_match, verify_cost
 from ..distarray.distribution import Block2D
 from ..distarray.global_array import GlobalArray
 from ..machines.spec import MachineSpec
 from ..sim.cluster import Machine
+from .recovery import board_for, build_assignment, plan_operands
 from .schedule import ScheduleOptions, order_tasks, task_is_domain_local
 from .tasks import BlockTask, build_tasks
 
@@ -118,6 +121,16 @@ class RankStats:
     faults_absorbed: int = 0
     """Gets this rank recovered end-to-end: failed at least once, then
     completed via retry or the reliable fallback.  Zero on healthy runs."""
+    corruptions_detected: int = 0
+    """ABFT checksum mismatches caught on arrived panels (injected wire
+    corruption).  Zero on healthy runs."""
+    corruptions_repaired: int = 0
+    """Corrupted panels whose re-fetch eventually delivered verified data."""
+    recovered_tasks: int = 0
+    """Tasks of crashed ranks this rank re-executed during recovery."""
+    checkpoints: int = 0
+    """C-block checkpoints this rank shipped to its buddy (crash plans
+    only; the free load-time checkpoint 0 is not counted)."""
 
 
 class _Operand:
@@ -297,6 +310,8 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     # request -> what to re-issue if it fails, and old request -> its
     # replacement so tasks sharing a cached patch follow the retry chain.
     injector = ctx.machine.faults
+    abft_on = injector is not None and injector.plan.corruption_rate > 0.0
+    crash_on = injector is not None and injector.has_crashes
     reissue_info: dict[Request, tuple] = {}
     superseded: dict[Request, Request] = {}
 
@@ -321,52 +336,65 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
         stats.peak_buffer_bytes = max(stats.peak_buffer_bytes,
                                       live_buffer_bytes)
 
-    def issue_gets(i: int):
-        """Issue nonblocking gets for task i; returns (arrays, requests).
+    def _make_issue(plan_seq):
+        """Build an issue_gets closure over one operand-plan sequence (the
+        healthy task list, or a recovered dead rank's task list)."""
 
-        Cache hits return the previously fetched buffer and (if the
-        transfer is still in flight) its original request to wait on.
-        """
-        arrays: list[Optional[np.ndarray]] = [None, None]
-        reqs: list[Request] = []
-        for slot, (op, ga) in enumerate(zip(plans[i], (a, b))):
-            if op.mode == "get":
-                key = (slot, op.owner,
-                       op.index[0].start, op.index[0].stop,
-                       op.index[1].start, op.index[1].stop)
-                hit = _cache_lookup(key)
-                if hit is not None:
-                    buf, req = hit
-                    arrays[slot] = buf
-                    if not req.done.triggered:
-                        reqs.append(req)
-                    elif injector is not None and not req.done.ok:
-                        # The cached transfer failed in flight; hand the
-                        # dead request to the robust wait so it re-issues.
-                        reqs.append(req)
-                    continue
-                nbytes = op.elems * itemsize
-                stats.remote_gets += 1
-                stats.bytes_fetched += nbytes
-                if real:
-                    buf = np.empty(op.shape, dtype=c.dtype)
-                    arrays[slot] = buf
-                    req = ga.nb_get_owner_patch(op.owner, op.index, buf)
-                else:
-                    # op.segments matches the strided-descriptor cost the
-                    # data-carrying get pays for a sub-block section
-                    # (precomputed at plan time).
-                    buf = None
-                    req = ctx.armci.nb_get_bytes(op.owner, nbytes,
-                                                 segments=op.segments)
-                reqs.append(req)
-                issued_requests.append(req)
-                if injector is not None:
-                    reissue_info[req] = (key, op, ga, buf)
-                _cache_store(key, (buf, req), nbytes)
-            elif op.mode == "view" and real:
-                arrays[slot] = ga.view_owner_patch(op.owner, op.index)
-        return arrays, reqs
+        def issue_gets(i: int):
+            """Issue nonblocking gets for task i; returns (arrays, requests).
+
+            Cache hits return the previously fetched buffer and (if the
+            transfer is still in flight) its original request to wait on.
+            """
+            arrays: list[Optional[np.ndarray]] = [None, None]
+            reqs: list[Request] = []
+            for slot, (op, ga) in enumerate(zip(plan_seq[i], (a, b))):
+                if op.mode == "get":
+                    key = (slot, op.owner,
+                           op.index[0].start, op.index[0].stop,
+                           op.index[1].start, op.index[1].stop)
+                    hit = _cache_lookup(key)
+                    if hit is not None:
+                        buf, req = hit
+                        arrays[slot] = buf
+                        if not req.done.triggered:
+                            reqs.append(req)
+                        elif injector is not None and not req.done.ok:
+                            # The cached transfer failed in flight; hand the
+                            # dead request to the robust wait so it re-issues.
+                            reqs.append(req)
+                        elif abft_on and not req.verified:
+                            # Arrived but not yet checksum-verified (its
+                            # requester has not waited on it); the robust
+                            # wait must verify before dgemm reads it.
+                            reqs.append(req)
+                        continue
+                    nbytes = op.elems * itemsize
+                    stats.remote_gets += 1
+                    stats.bytes_fetched += nbytes
+                    if real:
+                        buf = np.empty(op.shape, dtype=c.dtype)
+                        arrays[slot] = buf
+                        req = ga.nb_get_owner_patch(op.owner, op.index, buf)
+                    else:
+                        # op.segments matches the strided-descriptor cost the
+                        # data-carrying get pays for a sub-block section
+                        # (precomputed at plan time).
+                        buf = None
+                        req = ctx.armci.nb_get_bytes(op.owner, nbytes,
+                                                     segments=op.segments)
+                    reqs.append(req)
+                    issued_requests.append(req)
+                    if injector is not None:
+                        reissue_info[req] = (key, op, ga, buf)
+                    _cache_store(key, (buf, req), nbytes)
+                elif op.mode == "view" and real:
+                    arrays[slot] = ga.view_owner_patch(op.owner, op.index)
+            return arrays, reqs
+
+        return issue_gets
+
+    issue_gets = _make_issue(plans)
 
     def acquire_copies(i: int):
         """Blocking explicit copies for the X1 flavour (generator)."""
@@ -410,57 +438,112 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
             return ctx.armci.nb_get_bytes(op.owner, op.elems * itemsize,
                                           segments=op.segments, reliable=rel)
 
+        cpu_flops = ctx.machine.spec.cpu.flops
+
         def wait_requests(reqs):
             """Wait with bounded retry: failed gets are re-issued with
             deterministic exponential backoff, then (after ``max_retries``)
-            via the reliable blocking-copy protocol, which cannot fail."""
+            via the reliable blocking-copy protocol, which cannot fail.
+
+            Failures include injected get losses, wait timeouts, node-crash
+            sweeps of in-flight transfers, and — when a corruption plan is
+            active — ABFT checksum mismatches on arrived panels, which
+            re-fetch through the same retry ladder."""
             for req in reqs:
                 attempt = 0
                 recovered = False
+                corrupt_pending = 0
+                reliable_issued = False
                 while True:
                     t0 = ctx.now
+                    needs_reissue = False
                     try:
-                        yield from req.wait(timeout=fault_plan.get_timeout)
-                    except (GetFailedError, WaitTimeout):
+                        # Since a timed-out wait now *cancels* the transfer,
+                        # bounding the reliable fallback would break its
+                        # cannot-fail guarantee (and livelock when the
+                        # timeout is shorter than a panel transfer): the
+                        # fallback waits unbounded.  Node death still fails
+                        # it promptly via the crash sweep.
+                        yield from req.wait(
+                            timeout=None if reliable_issued
+                            else fault_plan.get_timeout)
+                    except (GetFailedError, WaitTimeout, NodeCrashedError):
                         ctx.tracer.account(ctx.rank, "comm_wait",
                                            ctx.now - t0)
-                        info = reissue_info.pop(req, None)
-                        if info is None:
+                        if req not in reissue_info:
                             repl = superseded.get(req)
                             if repl is None:
                                 raise  # not one of ours: surface it
                             req = repl  # another task already re-issued it
                             continue
-                        key, op, ga, buf = info
-                        if attempt < fault_plan.max_retries:
-                            ctx.tracer.bump("fault:get_retry")
-                            rel = False
-                            delay = fault_plan.backoff(attempt)
-                            if delay > 0:
-                                yield ctx.engine.timeout(delay)
-                        else:
-                            ctx.tracer.bump("fault:get_fallback")
-                            rel = True
-                        attempt += 1
-                        stats.retries += 1
-                        recovered = True
-                        new_req = _reissue(op, ga, buf, rel)
-                        issued_requests.append(new_req)
-                        reissue_info[new_req] = (key, op, ga, buf)
-                        superseded[req] = new_req
-                        if key in fetch_cache:
-                            fetch_cache[key] = (buf, new_req)
-                        req = new_req
+                        needs_reissue = True
                     else:
                         ctx.tracer.account(ctx.rank, "comm_wait",
                                            ctx.now - t0)
+                        if abft_on and not req.verified:
+                            if req not in reissue_info:
+                                repl = superseded.get(req)
+                                if repl is not None:
+                                    # Arrived corrupt and its requester
+                                    # already re-fetched: follow the chain.
+                                    req = repl
+                                    continue
+                            else:
+                                _, op, ga, buf = reissue_info[req]
+                                cost = verify_cost(op.elems, cpu_flops)
+                                if cost > 0.0:
+                                    yield from ctx.compute(cost)
+                                if real:
+                                    ok = checksums_match(
+                                        buf, ga.owner_patch_checksums(
+                                            op.owner, op.index))
+                                else:
+                                    ok = not req.corrupted
+                                if ok:
+                                    req.verified = True
+                                else:
+                                    ctx.tracer.bump(
+                                        "fault:corruption_detected")
+                                    stats.corruptions_detected += 1
+                                    corrupt_pending += 1
+                                    needs_reissue = True
+                    if not needs_reissue:
                         reissue_info.pop(req, None)
                         if req.on_complete is not None:
                             cb, req.on_complete = req.on_complete, None
                             cb()
                         if recovered:
                             stats.faults_absorbed += 1
+                        if corrupt_pending:
+                            # One bump per absorbed detection: a re-fetch
+                            # can itself arrive corrupt (another detection,
+                            # another re-fetch), and every one of them is
+                            # repaired by the fetch that finally verifies.
+                            ctx.tracer.bump("fault:corruption_repaired",
+                                            corrupt_pending)
+                            stats.corruptions_repaired += corrupt_pending
                         break
+                    key, op, ga, buf = reissue_info.pop(req)
+                    if attempt < fault_plan.max_retries:
+                        ctx.tracer.bump("fault:get_retry")
+                        rel = False
+                        delay = fault_plan.backoff(attempt)
+                        if delay > 0:
+                            yield ctx.engine.timeout(delay)
+                    else:
+                        ctx.tracer.bump("fault:get_fallback")
+                        rel = True
+                        reliable_issued = True
+                    attempt += 1
+                    stats.retries += 1
+                    recovered = True
+                    new_req = _reissue(op, ga, buf, rel)
+                    issued_requests.append(new_req)
+                    reissue_info[new_req] = (key, op, ga, buf)
+                    superseded[req] = new_req
+                    if key in fetch_cache:
+                        fetch_cache[key] = (buf, new_req)
+                    req = new_req
 
     def run_dgemm(i: int, arrays):
         """The serial kernel for task i (generator)."""
@@ -478,6 +561,123 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                                  remote_uncached=penalty, alpha=alpha)
         else:
             yield from ctx.dgemm_flops(m, n, kk, remote_uncached=penalty)
+
+    # ----- crash tolerance: checkpointing + recovery --------------------------
+    if crash_on:
+        board = board_for(ctx.machine)
+        buddy = (ctx.rank + ctx.machine.spec.cpus_per_node) % ctx.nranks
+        my_shape = dist_c.block_shape(*coords)
+        ckpt_nbytes = float(my_shape[0] * my_shape[1] * itemsize)
+        ckpt_interval = injector.plan.checkpoint_interval
+        completed = 0
+        # Checkpoint 0 is free: the buddy's replica of the freshly
+        # beta-scaled block is established while operands load (untimed),
+        # like the A/B replication that backs replica_of redirects.
+        board.record(ctx.rank, 0, c_local.copy() if real else None)
+
+        _plain_run_dgemm = run_dgemm
+
+        def run_dgemm(i: int, arrays):
+            nonlocal completed
+            yield from _plain_run_dgemm(i, arrays)
+            completed += 1
+            if completed % ckpt_interval == 0 and completed < len(tasks):
+                # Ship the C block to the buddy, overlapped with the next
+                # tasks; it becomes durable only when the put completes.
+                snap = c_local.copy() if real else None
+                count = completed
+                req = ctx.armci.nb_put_bytes(buddy, ckpt_nbytes)
+                req.done.add_callback(
+                    lambda ev, count=count, snap=snap:
+                    board.record(ctx.rank, count, snap) if ev.ok else None)
+                issued_requests.append(req)
+                stats.checkpoints += 1
+                ctx.tracer.bump("fault:checkpoint")
+
+        def _recover_one(d: int, task_indices):
+            """Re-execute ``task_indices`` of dead rank ``d``'s task list,
+            then ship the partial C contribution to its replica."""
+            d_coords = dist_c.coords_of(d)
+            d_tasks = board.dead_plans[d]
+            rec_tasks = [d_tasks[ti] for ti in task_indices]
+            rec_plans = tuple(
+                plan_operands(ctx.machine, ctx.rank, flavor, t,
+                              dist_a, dist_b) for t in rec_tasks)
+            rec_needs = tuple(any(op.mode == "get" for op in pair)
+                              for pair in rec_plans)
+            d_shape = dist_c.block_shape(*d_coords)
+            d_r_lo, _ = dist_c.row_range(d_coords[0])
+            d_c_lo, _ = dist_c.col_range(d_coords[1])
+            partial = np.zeros(d_shape, dtype=c.dtype) if real else None
+
+            def rec_dgemm(i: int, arrays):
+                task = rec_tasks[i]
+                penalty = rec_plans[i][0].penalty or rec_plans[i][1].penalty
+                stats.flops += task.flops
+                if real:
+                    c_sub = partial[
+                        task.m_range[0] - d_r_lo:task.m_range[1] - d_r_lo,
+                        task.n_range[0] - d_c_lo:task.n_range[1] - d_c_lo]
+                    yield from ctx.dgemm(arrays[0], arrays[1], c_sub,
+                                         transa=transa, transb=transb,
+                                         remote_uncached=penalty, alpha=alpha)
+                else:
+                    yield from ctx.dgemm_flops(
+                        task.m_range[1] - task.m_range[0],
+                        task.n_range[1] - task.n_range[0],
+                        task.k_range[1] - task.k_range[0],
+                        remote_uncached=penalty)
+
+            yield from _run_dynamic(ctx, rec_tasks, rec_needs,
+                                    _make_issue(rec_plans), rec_dgemm,
+                                    options.pipeline_depth, wait_requests)
+            stats.recovered_tasks += len(rec_tasks)
+            # One partial-C put to the dead rank's replica; the
+            # contribution lands when the put completes.  A second crash
+            # taking out the replica mid-put just redirects and retries.
+            while True:
+                req = ctx.armci.nb_put_bytes(
+                    d, float(d_shape[0] * d_shape[1] * itemsize))
+                if real:
+                    seg = ctx.armci._rt.segment(d, c._key)
+
+                    def _land(ev, seg=seg, part=partial):
+                        if ev.ok:
+                            seg += part
+                    req.done.add_callback(_land)
+                issued_requests.append(req)
+                try:
+                    yield from req.wait()
+                except NodeCrashedError:
+                    continue
+                break
+
+        def recover_crashed():
+            """Survivor side of the recovery protocol (see core/recovery.py)."""
+            machine = ctx.machine
+            dead = [r for r in range(dist_c.nranks)
+                    if machine.rank_is_dead(r)]
+            if dead:
+                if board.assignment is None:
+                    def restore(d: int) -> None:
+                        if real:
+                            snap = board.snapshots.get(d)
+                            if snap is not None:
+                                ctx.armci._rt.segment(d, c._key)[...] = snap
+
+                    build_assignment(
+                        machine, board, dead, dist_c.nranks, restore,
+                        lambda d: _build_plan(
+                            machine, d, dist_c.coords_of(d), dist_a, dist_b,
+                            dist_c, transa, transb, flavor,
+                            options.schedule)[0])
+                share = board.assignment.get(ctx.rank, ())
+                by_dead: dict[int, list[int]] = {}
+                for d, ti in share:
+                    by_dead.setdefault(d, []).append(ti)
+                for d in sorted(by_dead):
+                    yield from _recover_one(d, by_dead[d])
+            board.exited.add(ctx.rank)
 
     # ----- execution -------------------------------------------------------------
     if flavor == "cluster" and options.dynamic and any(needs_get):
@@ -513,6 +713,12 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                 arrays, reqs = issue_gets(i)
                 yield from wait_requests(reqs)
             yield from run_dgemm(i, arrays)
+
+    if crash_on:
+        # Own block done: flip to survivor duty and pick up any work a
+        # crashed rank left behind (no-op when nothing has crashed).
+        board.finished.add(ctx.rank)
+        yield from recover_crashed()
 
     stats.comm_time += sum(r.duration or 0.0 for r in issued_requests)
     return stats

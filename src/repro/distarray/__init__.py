@@ -1,5 +1,6 @@
 """Distributed dense matrices: distributions, GA handles, GA operations."""
 
+from .abft import checksums_match, panel_checksums, verify_cost
 from .distribution import Block2D, BlockCyclic2D, IrregularBlock2D, choose_grid
 from .global_array import GlobalArray
 from .ga_ops import (
@@ -15,6 +16,7 @@ from .ga_ops import (
 
 __all__ = [
     "Block2D", "BlockCyclic2D", "IrregularBlock2D", "choose_grid", "GlobalArray",
+    "checksums_match", "panel_checksums", "verify_cost",
     "ga_add", "ga_copy", "ga_dgemm", "ga_dot", "ga_fill", "ga_norm_inf",
     "ga_scale", "ga_transpose",
 ]

@@ -137,6 +137,19 @@ class GlobalArray:
         """Direct load/store reference to ``owner``'s block section."""
         return self.ctx.shmem.view(owner, self._key, index=index)
 
+    def owner_patch_checksums(self, owner: int, index: tuple[slice, slice]):
+        """Owner-side ABFT reference sums for a block section.
+
+        Models the checksum vectors the owner maintains alongside its
+        block and ships with every panel; read outside simulated time
+        (the wire/compute overhead is charged by the verifier, see
+        :mod:`repro.distarray.abft`).
+        """
+        from .abft import panel_checksums
+
+        src = self.ctx.armci._rt.segment(owner, self._key)
+        return panel_checksums(src[index])
+
     def copy_owner_patch(self, owner: int, index: tuple[slice, slice],
                          out: np.ndarray):
         """Explicit shared-memory copy of an owner's block section (generator)."""

@@ -27,6 +27,7 @@ from .faults import (
     FaultPlan,
     LinkBrownout,
     NicOutage,
+    NodeCrash,
     StragglerWindow,
     install_faults,
     standard_degraded_plan,
@@ -41,7 +42,7 @@ __all__ = [
     "Mailbox", "Resource", "TokenBucket",
     "Machine", "Node",
     "InterferencePattern", "spawn_daemons",
-    "FaultInjector", "FaultPlan", "LinkBrownout", "NicOutage",
+    "FaultInjector", "FaultPlan", "LinkBrownout", "NicOutage", "NodeCrash",
     "StragglerWindow", "install_faults", "standard_degraded_plan",
     "unit_uniform",
     "TimeBuckets", "TraceEvent", "Tracer",

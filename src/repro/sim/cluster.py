@@ -68,6 +68,12 @@ class Machine:
         # (None = healthy machine; every fault hook checks this first so
         # the healthy path schedules the exact pre-fault event sequence).
         self.faults = None
+        # Hard-failure state: nodes killed by a NodeCrash plan event, plus
+        # listeners (comm runtime, rank supervisor) notified at the kill
+        # instant so they can fail in-flight work and interrupt dead ranks.
+        self.dead_nodes: set[int] = set()
+        self._crash_listeners: list = []
+        self._crash_base_bw: dict[int, tuple[float, float, float]] = {}
 
         cpn = spec.cpus_per_node
         nnodes = spec.nodes_for(nranks)
@@ -170,6 +176,78 @@ class Machine:
         wall = faults.wall_time(rank, self.engine.now, seconds)
         yield self.engine.timeout(wall)
         return wall
+
+    # -- hard node failure ---------------------------------------------------
+    def on_node_crash(self, fn) -> None:
+        """Register ``fn(node_index)`` to run at each node-kill instant.
+
+        Listeners fire in registration order, synchronously inside the
+        injector's crash process — before any event scheduled after the
+        crash — so they can cancel in-flight transfers deterministically.
+        """
+        self._crash_listeners.append(fn)
+
+    def kill_node(self, node: int, residual: float = 1e-4) -> None:
+        """Hard-fail ``node``: its links crawl at ``residual``, ranks die.
+
+        The links cannot carry literal zero bandwidth (in-flight bytes
+        must land so survivors' timeouts race something finite), so the
+        NIC and memory controller drop to ``base * residual``.  The CPUs
+        are not freed here — the crash listeners interrupt the rank
+        processes, whose unwinding releases them.
+        """
+        if node in self.dead_nodes:
+            return
+        n = self.nodes[node]
+        self._crash_base_bw[node] = (
+            n.nic_out.bandwidth, n.nic_in.bandwidth, n.mem.bandwidth)
+        self.dead_nodes.add(node)
+        for link, base in zip((n.nic_out, n.nic_in, n.mem),
+                              self._crash_base_bw[node]):
+            self.net.set_bandwidth(link, base * residual)
+        for fn in list(self._crash_listeners):
+            fn(node)
+
+    def revive_node(self, node: int) -> None:
+        """Restore a dead node's links (its ranks stay dead — recovery has
+        already reassigned their work; late hardware only helps routing)."""
+        if node not in self.dead_nodes:
+            return
+        self.dead_nodes.discard(node)
+        n = self.nodes[node]
+        base = self._crash_base_bw.pop(node)
+        for link, bw in zip((n.nic_out, n.nic_in, n.mem), base):
+            self.net.set_bandwidth(link, bw)
+
+    def node_is_dead(self, node: int) -> bool:
+        return node in self.dead_nodes
+
+    def rank_is_dead(self, rank: int) -> bool:
+        """True when ``rank`` lives on a node that has hard-failed."""
+        return bool(self.dead_nodes) and self.node_of(rank) in self.dead_nodes
+
+    def replica_of(self, rank: int, spread: int = 0) -> int:
+        """A live rank standing in for ``rank``'s data after a crash.
+
+        Replication is *declustered* (chained-declustering style): a dead
+        rank's panels have a copy reachable from every surviving node, so
+        reconstruction reads spread machine-wide instead of funnelling
+        through one buddy NIC.  ``spread`` selects which shard serves a
+        particular reader — callers pass their own rank, giving each
+        reader a distinct (but deterministic) replica node while keeping
+        ``spread=0`` the canonical one-node-over mirror.  Walks
+        node-by-node (``+cpus_per_node`` mod nranks) from the selected
+        start to the first rank on a live node.
+        """
+        if not self.rank_is_dead(rank):
+            return rank
+        cpn = self.spec.cpus_per_node
+        r = (rank + cpn * (spread % len(self.nodes))) % self.nranks
+        for _ in range(len(self.nodes)):
+            r = (r + cpn) % self.nranks
+            if not self.rank_is_dead(r):
+                return r
+        raise RuntimeError("no live node remains to serve replicas")
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.nranks):

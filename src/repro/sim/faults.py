@@ -26,9 +26,11 @@ Determinism guarantees (``docs/resilience.md``):
 2. ``machine.faults is None`` (no plan) is the *exact* pre-fault code
    path: every hook is guarded, so healthy runs schedule the identical
    event sequence they did before fault injection existed.
-3. Get-failure draws hash a per-runtime issue counter with splitmix64
-   (:func:`unit_uniform`) — no ``random.Random`` state, so the stream is
-   platform-independent and unaffected by unrelated code drawing numbers.
+3. Get-failure and corruption draws hash a per-*(kind, rank)* issue
+   counter with splitmix64 (:func:`unit_uniform`) — no ``random.Random``
+   state, so each rank's stream is platform-independent, unaffected by
+   unrelated code drawing numbers, and unaffected by how many draws any
+   *other* rank made.
 """
 
 from __future__ import annotations
@@ -49,6 +51,7 @@ __all__ = [
     "LinkBrownout",
     "NicOutage",
     "StragglerWindow",
+    "NodeCrash",
     "FaultPlan",
     "FaultInjector",
     "install_faults",
@@ -140,6 +143,34 @@ class StragglerWindow:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """A hard node failure: CPUs, NIC, and memory die at ``t_fail``.
+
+    Unlike an outage, a crash is *permanent* from the algorithms' point of
+    view (``t_recover`` optionally revives the links late, but the ranks
+    that lived on the node never come back — the run must survive without
+    them).  The links drop to a tiny ``residual`` bandwidth rather than
+    literal zero for the same reason outages do: the flow model needs
+    in-flight bytes to land eventually so survivors' timeouts can race
+    something finite.
+    """
+
+    node: int
+    t_fail: float
+    t_recover: Optional[float] = None
+    residual: float = 1e-4
+
+    def __post_init__(self):
+        if self.t_fail <= 0:
+            raise ValueError(f"crash t_fail must be positive, got {self.t_fail}")
+        if self.t_recover is not None and self.t_recover <= self.t_fail:
+            raise ValueError(
+                f"crash t_recover {self.t_recover} must follow t_fail {self.t_fail}")
+        if not (0.0 < self.residual <= 1.0):
+            raise ValueError(f"crash residual must be in (0, 1], got {self.residual}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, deterministic description of injected degradation.
 
@@ -152,6 +183,7 @@ class FaultPlan:
     brownouts: tuple[LinkBrownout, ...] = ()
     outages: tuple[NicOutage, ...] = ()
     stragglers: tuple[StragglerWindow, ...] = ()
+    crashes: tuple[NodeCrash, ...] = ()
 
     get_fail_prob: float = 0.0
     """Per-get probability that a remote-domain RMA get fails (seeded draw
@@ -177,6 +209,15 @@ class FaultPlan:
     """Optional per-wait bound: a robust wait treats a get still pending
     after this many simulated seconds as failed (None = wait forever)."""
 
+    corruption_rate: float = 0.0
+    """Per-get probability that a remote-domain RMA get delivers silently
+    corrupted data (a seeded bit flip), detectable only by the ABFT
+    checksum layer."""
+
+    checkpoint_interval: int = 4
+    """Tasks between in-simulation C-block checkpoints when a crash plan
+    is active (lower = less re-execution after a crash, more put traffic)."""
+
     def __post_init__(self):
         if not (0.0 <= self.get_fail_prob <= 1.0):
             raise ValueError(f"get_fail_prob must be in [0, 1], got {self.get_fail_prob}")
@@ -190,6 +231,17 @@ class FaultPlan:
             raise ValueError(f"detect_timeout must be >= 0, got {self.detect_timeout}")
         if self.get_timeout is not None and self.get_timeout <= 0:
             raise ValueError(f"get_timeout must be positive, got {self.get_timeout}")
+        if not (0.0 <= self.corruption_rate <= 1.0):
+            raise ValueError(
+                f"corruption_rate must be in [0, 1], got {self.corruption_rate}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}")
+        seen_crash_nodes = set()
+        for c in self.crashes:
+            if c.node in seen_crash_nodes:
+                raise ValueError(f"node {c.node} crashes more than once")
+            seen_crash_nodes.add(c.node)
         # Straggler windows on one rank must not overlap: the piecewise
         # wall-time walk assumes at most one active slowdown per rank.
         by_rank: dict[int, list[StragglerWindow]] = {}
@@ -208,7 +260,9 @@ class FaultPlan:
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return (not self.brownouts and not self.outages
-                and not self.stragglers and self.get_fail_prob == 0.0)
+                and not self.stragglers and not self.crashes
+                and self.get_fail_prob == 0.0
+                and self.corruption_rate == 0.0)
 
     def backoff(self, attempt: int) -> float:
         """Backoff delay before re-issue ``attempt`` (0-based)."""
@@ -222,8 +276,12 @@ class FaultPlan:
             parts.append(f"{len(self.outages)} outage(s)")
         if self.stragglers:
             parts.append(f"{len(self.stragglers)} straggler(s)")
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash(es)")
         if self.get_fail_prob > 0:
             parts.append(f"get_fail_prob={self.get_fail_prob:g}")
+        if self.corruption_rate > 0:
+            parts.append(f"corruption_rate={self.corruption_rate:g}")
         return ", ".join(parts) if parts else "no faults"
 
     # -- JSON round-trip (--fault-plan FILE) -------------------------------
@@ -232,6 +290,7 @@ class FaultPlan:
             "brownouts": [dataclasses.asdict(b) for b in self.brownouts],
             "outages": [dataclasses.asdict(o) for o in self.outages],
             "stragglers": [dataclasses.asdict(s) for s in self.stragglers],
+            "crashes": [dataclasses.asdict(c) for c in self.crashes],
             "get_fail_prob": self.get_fail_prob,
             "seed": self.seed,
             "max_retries": self.max_retries,
@@ -239,6 +298,8 @@ class FaultPlan:
             "backoff_factor": self.backoff_factor,
             "detect_timeout": self.detect_timeout,
             "get_timeout": self.get_timeout,
+            "corruption_rate": self.corruption_rate,
+            "checkpoint_interval": self.checkpoint_interval,
         }
 
     @classmethod
@@ -256,6 +317,8 @@ class FaultPlan:
             NicOutage(**o) for o in blob.get("outages", ()))
         kwargs["stragglers"] = tuple(
             StragglerWindow(**s) for s in blob.get("stragglers", ()))
+        kwargs["crashes"] = tuple(
+            NodeCrash(**c) for c in blob.get("crashes", ()))
         return cls(**kwargs)
 
     def save(self, path: os.PathLike) -> None:
@@ -321,11 +384,20 @@ class FaultInjector:
         for o in plan.outages:
             if not (0 <= o.node < nnodes):
                 raise ValueError(f"outage node {o.node} out of range [0, {nnodes})")
+        for c in plan.crashes:
+            if not (0 <= c.node < nnodes):
+                raise ValueError(f"crash node {c.node} out of range [0, {nnodes})")
         for s in plan.stragglers:
             machine._check_rank(s.rank)
+        if plan.crashes and len({c.node for c in plan.crashes}) >= nnodes:
+            raise ValueError("a crash plan must leave at least one node alive")
         self.machine = machine
         self.plan = plan
-        self._get_draws = 0
+        # Per-(kind, rank) draw counters: each rank consumes its own
+        # splitmix64 stream, so adding draws on one rank never perturbs
+        # another rank's failure sequence (stable under --jobs reordering
+        # and under topology changes that shift issue interleaving).
+        self._draws: dict[tuple[int, int], int] = {}
         # Window bookkeeping: base bandwidth captured at first touch, plus
         # the multiset of active factors per link.  Restoring recomputes
         # base * prod(active) from scratch, so when the last window closes
@@ -357,7 +429,31 @@ class FaultInjector:
             procs.append(engine.spawn(
                 self._window(links, o.t_start, o.t_end, o.residual, "outage"),
                 name=f"fault-outage{i}@node{o.node}"))
+        for i, c in enumerate(self.plan.crashes):
+            procs.append(engine.spawn(
+                self._crash(c), name=f"fault-crash{i}@node{c.node}"))
         return procs
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.plan.crashes)
+
+    def _crash(self, crash: NodeCrash):
+        engine = self.machine.engine
+        try:
+            yield engine.timeout(crash.t_fail - engine.now)
+        except Interrupt:
+            return  # run ended before the node died
+        self.machine.kill_node(crash.node, residual=crash.residual)
+        self.machine.tracer.bump("fault:node_crash")
+        if crash.t_recover is None:
+            return
+        try:
+            yield engine.timeout(crash.t_recover - crash.t_fail)
+        except Interrupt:
+            return  # run ended before recovery; the node stays dead
+        self.machine.revive_node(crash.node)
+        self.machine.tracer.bump("fault:node_recover")
 
     def _nic_links(self, node: int, direction: str) -> list["Link"]:
         n = self.machine.nodes[node]
@@ -403,15 +499,36 @@ class FaultInjector:
             bw *= f
         self.machine.net.set_bandwidth(link, bw)
 
-    # -- seeded get failures ----------------------------------------------
-    def draw_get_failure(self) -> bool:
-        """One seeded draw per failable get issue; advances the counter."""
-        n = self._get_draws
-        self._get_draws += 1
-        p = self.plan.get_fail_prob
+    # -- seeded get failures & corruptions ---------------------------------
+    _GET_FAIL_KIND = 0xFA11
+    _CORRUPT_KIND = 0xC0DE
+
+    def _draw(self, kind: int, rank: int, p: float) -> bool:
+        """One seeded draw from ``rank``'s private ``kind`` stream.
+
+        The counter always advances (even when ``p`` is zero) so the
+        stream position is a pure function of how many draws this rank
+        made, never of the probability knobs.  The stream seed folds
+        ``(kind, rank)`` into the plan seed with splitmix64, so streams
+        are mutually independent: draws on one rank cannot perturb
+        another rank's sequence.
+        """
+        key = (kind, rank)
+        n = self._draws.get(key, 0)
+        self._draws[key] = n + 1
         if p <= 0.0:
             return False
-        return unit_uniform(self.plan.seed, n) < p
+        stream = _splitmix64(
+            (self.plan.seed & _MASK64) ^ _splitmix64((kind << 32) | (rank & 0xFFFFFFFF)))
+        return unit_uniform(stream, n) < p
+
+    def draw_get_failure(self, rank: int) -> bool:
+        """Seeded per-``rank`` draw for one failable get issue."""
+        return self._draw(self._GET_FAIL_KIND, rank, self.plan.get_fail_prob)
+
+    def draw_corruption(self, rank: int) -> bool:
+        """Seeded per-``rank`` draw: does this get deliver flipped bits?"""
+        return self._draw(self._CORRUPT_KIND, rank, self.plan.corruption_rate)
 
     # -- straggler dilation -------------------------------------------------
     def wall_time(self, rank: int, start: float, work: float) -> float:

@@ -125,6 +125,10 @@ class FlowNetwork:
         self.completed_flows = 0
         self.aborted_flows = 0
         self._flow_seq = 0
+        # Flows still in their latency phase, keyed by completion event:
+        # not yet in _flows, but abort() must be able to cancel them or a
+        # timed-out request would leak its scheduled _start_flow call.
+        self._latent: dict[Event, _ScheduledCall] = {}
         # Links whose membership changed since the last reallocation pass,
         # awaiting the same-instant flush.
         self._dirty: dict[Link, None] = {}
@@ -146,7 +150,10 @@ class FlowNetwork:
         done = self.engine.event(f"xfer:{label}")
         if nbytes == 0:
             if latency > 0:
-                self.engine._schedule(latency, lambda: done.succeed(0.0))
+                # Guarded: a cancelled request may have failed `done` first.
+                self.engine._schedule(
+                    latency,
+                    lambda: done.succeed(0.0) if not done.triggered else None)
             else:
                 done.succeed(0.0)
             return done
@@ -154,7 +161,8 @@ class FlowNetwork:
             raise ValueError("a nonzero transfer needs a non-empty link path")
         flow = Flow(nbytes, path, done, label=label)
         if latency > 0:
-            self.engine._schedule(latency, lambda: self._start_flow(flow))
+            self._latent[done] = self.engine._schedule(
+                latency, lambda: self._start_flow(flow))
         else:
             self._start_flow(flow)
         return done
@@ -191,10 +199,16 @@ class FlowNetwork:
 
         Settles the flow's progress to the current instant, removes it from
         its links *without* counting it as completed, and re-settles the
-        shares of flows that were contending with it.  Returns ``False``
-        when no active flow carries the event — already finished, or still
-        in its latency phase (not yet a flow).
+        shares of flows that were contending with it.  A flow still in its
+        latency phase is cancelled before it ever joins a link.  Returns
+        ``False`` when no flow (latent or active) carries the event —
+        i.e. it already finished.
         """
+        latent = self._latent.pop(done, None)
+        if latent is not None:
+            self.engine.cancel(latent)
+            self.aborted_flows += 1
+            return True
         for flow in self._flows:
             if flow.done is done:
                 break
@@ -210,6 +224,7 @@ class FlowNetwork:
 
     # -- internals ----------------------------------------------------------
     def _start_flow(self, flow: Flow) -> None:
+        self._latent.pop(flow.done, None)
         now = self.engine.now
         flow.started_at = now
         flow._last_update = now

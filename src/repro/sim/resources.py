@@ -73,6 +73,19 @@ class Resource:
             self._queue.append(ev)
         return ev
 
+    def cancel(self, ev: Event) -> bool:
+        """Withdraw a queued, not-yet-granted request; True if it was queued.
+
+        Needed when the requester is torn down (node crash, cancelled
+        protocol): a granted-to-nobody slot would otherwise leak capacity
+        the moment a release transfers it to the stale event.
+        """
+        try:
+            self._queue.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     def release(self) -> None:
         """Release one held slot, granting the next queued request if any."""
         self._account()

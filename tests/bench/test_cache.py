@@ -134,10 +134,10 @@ def test_golden_key_is_stable_across_sessions_and_python_versions():
         memory=MemorySpec(copy_bandwidth=1e9),
     )
     spec = PointSpec("srumma", golden_machine, 16, 2000, seed=3)
-    # Golden for schema v2 (v1's was 6f64d7d1...; the faults field and the
-    # schema bump moved it).
+    # Golden for schema v3 (v1: 6f64d7d1..., v2: f0c2fb1f...; the crash /
+    # corruption FaultPlan fields and the schema bump moved it).
     assert point_key(spec) == (
-        "f0c2fb1f336a8ace6e58ce3e55d1391d105db654d5eef9c8b65de0f8a90cd637")
+        "7f1d3cd25ee10f11af6d684404e422f81960be1237058011f95190cf76bf4d27")
 
 
 def test_canonical_spec_renders_floats_as_hex():

@@ -1,0 +1,134 @@
+"""Request cancellation semantics: timed-out waits tear the operation down.
+
+``Request.wait(timeout)`` used to merely stop waiting; since the crash
+recovery work it *cancels* the request — the in-flight flow is aborted,
+``done`` fails with :class:`WaitTimeout`, and no orphaned events linger
+in the engine.  This is load-bearing for the robust-wait retry loop: a
+re-issued get must not race its abandoned predecessor for bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_parallel
+from repro.comm.base import Request, WaitTimeout
+from repro.machines import LINUX_MYRINET
+
+
+class TestWaitTimeoutCancels:
+    def test_timeout_aborts_flow_and_fails_done(self):
+        observed = {}
+
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (512, 512))
+            local[...] = 7.0
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros((512, 512))
+                req = ctx.armci.nb_get(2, "seg", out)  # cross-node: slow
+                with pytest.raises(WaitTimeout):
+                    yield from req.wait(timeout=1e-6)
+                observed["done"] = req.done.triggered
+                observed["ok"] = req.done.ok
+                observed["delivered"] = float(out.max())
+                observed["aborted"] = ctx.machine.net.aborted_flows
+
+        run = run_parallel(LINUX_MYRINET, 4, prog)
+        assert observed["done"] and not observed["ok"]
+        assert observed["delivered"] == 0.0  # payload never landed
+        assert observed["aborted"] >= 1
+        # The run drained: nothing left in the engine's heap or the network.
+        assert run.machine.engine.pending_events == 0
+        assert run.machine.net.active_flow_count == 0
+
+    def test_timeout_longer_than_transfer_is_a_plain_wait(self):
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (64,))
+            local[...] = ctx.rank
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros(64)
+                req = ctx.armci.nb_get(2, "seg", out)
+                yield from req.wait(timeout=10.0)
+                assert np.all(out == 2)
+                assert ctx.machine.net.aborted_flows == 0
+
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+    def test_reissue_after_timeout_completes(self):
+        # The robust-wait pattern: cancel a stuck get, issue a fresh one.
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (256, 256))
+            local[...] = 3.0
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros((256, 256))
+                req = ctx.armci.nb_get(2, "seg", out)
+                with pytest.raises(WaitTimeout):
+                    yield from req.wait(timeout=1e-6)
+                retry = ctx.armci.nb_get(2, "seg", out)
+                yield from retry.wait()
+                assert np.all(out == 3.0)
+
+        run = run_parallel(LINUX_MYRINET, 4, prog)
+        assert run.machine.net.aborted_flows == 1
+
+
+class TestCancelDirect:
+    def test_cancel_pending_true_then_completed_false(self):
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (128, 128))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros((128, 128))
+                req = ctx.armci.nb_get(2, "seg", out)
+                assert req.cancel() is True
+                assert req.done.triggered and not req.done.ok
+                assert req.cancel() is False  # idempotent once down
+                ok = ctx.armci.nb_get(2, "seg", out)
+                yield from ok.wait()
+                assert ok.cancel() is False  # completed: no-op
+
+        run_parallel(LINUX_MYRINET, 4, prog)
+
+    def test_cancel_wakes_other_waiters_with_failure(self):
+        failures = []
+
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (256, 256))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros((256, 256))
+                req = ctx.armci.nb_get(2, "seg", out)
+
+                def other_waiter():
+                    try:
+                        yield from req.wait()
+                    except WaitTimeout as exc:
+                        failures.append(exc)
+
+                ctx.engine.spawn(other_waiter())
+                with pytest.raises(WaitTimeout):
+                    yield from req.wait(timeout=1e-6)
+
+        run_parallel(LINUX_MYRINET, 4, prog)
+        # The second waiter saw the same cancellation, not a hang.
+        assert len(failures) == 1
+
+
+class TestNoTransportLeak:
+    def test_repeated_timeouts_leave_no_residue(self):
+        def prog(ctx):
+            local = ctx.armci.malloc("seg", (512, 512))
+            yield from ctx.mpi.barrier()
+            if ctx.rank == 0:
+                out = np.zeros((512, 512))
+                for _ in range(5):
+                    req = ctx.armci.nb_get(2, "seg", out)
+                    with pytest.raises(WaitTimeout):
+                        yield from req.wait(timeout=1e-6)
+
+        run = run_parallel(LINUX_MYRINET, 4, prog)
+        assert run.machine.net.aborted_flows == 5
+        assert run.machine.net.active_flow_count == 0
+        assert run.machine.engine.pending_events == 0

@@ -1,0 +1,116 @@
+"""SRUMMA crash recovery: a node dies mid-run, survivors finish its work.
+
+The contract under test (protocol narrative in ``docs/resilience.md``):
+
+- a :class:`NodeCrash` kills every rank on the node; their results are
+  gone (``None``) and they contribute nothing after ``t_fail``;
+- survivors redirect gets/puts for dead owners to declustered replicas,
+  re-execute the dead ranks' unfinished tasks, and write the recovered
+  C blocks back — the *assembled product still verifies numerically*;
+- recovery costs simulated time (completion inflates) but the run
+  terminates — no deadlock on the dead node;
+- everything is deterministic: same plan, same elapsed, across repeated
+  runs and across ``run_points`` worker counts.
+"""
+
+import pytest
+
+from repro.bench.parallel import PointSpec, run_points
+from repro.core.api import srumma_multiply
+from repro.core.srumma import SrummaOptions
+from repro.machines import LINUX_MYRINET
+from repro.sim.faults import FaultPlan, NodeCrash
+
+N, P = 96, 4  # 2 nodes on the 2-CPU-per-node Linux cluster
+
+
+def _run(faults=None, **kw):
+    kw.setdefault("payload", "real")
+    kw.setdefault("verify", True)
+    kw.setdefault("options", SrummaOptions(dynamic=True))
+    return srumma_multiply(LINUX_MYRINET, P, N, N, N, faults=faults, **kw)
+
+
+def _crash_plan(t_fail, node=1, **kw):
+    kw.setdefault("checkpoint_interval", 1)
+    return FaultPlan(crashes=(NodeCrash(node=node, t_fail=t_fail),), **kw)
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    return _run()
+
+
+class TestSurvival:
+    @pytest.mark.parametrize("frac", [0.3, 0.6, 0.9])
+    def test_result_verifies_after_mid_run_crash(self, healthy, frac):
+        res = _run(_crash_plan(frac * healthy.elapsed))
+        assert res.max_error is not None and res.max_error < 1e-10
+
+    def test_dead_ranks_return_nothing_survivors_recover(self, healthy):
+        res = _run(_crash_plan(0.4 * healthy.elapsed))
+        # Node 1 hosts ranks 2 and 3 on the 2-CPU-per-node cluster.
+        assert res.stats[2] is None and res.stats[3] is None
+        survivors = [s for s in res.stats if s is not None]
+        assert survivors
+        assert sum(s.recovered_tasks for s in survivors) > 0
+        health = res.run.tracer.health()
+        assert health["node_crash"] == 1
+        assert health["recovery_tasks"] > 0
+
+    def test_crash_costs_time_but_terminates(self, healthy):
+        res = _run(_crash_plan(0.5 * healthy.elapsed))
+        assert res.elapsed > healthy.elapsed
+
+    def test_later_crash_leaves_less_to_recover(self, healthy):
+        # The earlier the crash, the more of the dead ranks' work remains
+        # (durable checkpoints can only shrink the residue as time passes).
+        def recovered(res):
+            return sum(s.recovered_tasks for s in res.stats if s is not None)
+
+        early = _run(_crash_plan(0.25 * healthy.elapsed))
+        late = _run(_crash_plan(0.9 * healthy.elapsed))
+        assert recovered(late) <= recovered(early)
+
+    def test_crash_of_other_node_also_recovers(self, healthy):
+        # Kill node 0 instead: ranks 0 and 1 die, replicas walk the other way.
+        res = _run(_crash_plan(0.4 * healthy.elapsed, node=0))
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert res.stats[0] is None and res.stats[1] is None
+
+    def test_synthetic_payload_matches_crash_protocol(self, healthy):
+        # The timing-only path exercises the same recovery machinery.
+        res = _run(_crash_plan(0.4 * healthy.elapsed),
+                   payload="synthetic", verify=False)
+        assert res.elapsed > healthy.elapsed
+        assert res.run.tracer.health()["recovery_tasks"] > 0
+
+    def test_checkpoints_reduce_reexecution(self, healthy):
+        # With checkpointing every task vs never, the recovered-task count
+        # after a late crash can only shrink (durable progress is honoured).
+        t_fail = 0.8 * healthy.elapsed
+        every = _run(_crash_plan(t_fail, checkpoint_interval=1))
+        never = _run(_crash_plan(t_fail, checkpoint_interval=1000))
+        n_every = sum(s.recovered_tasks for s in every.stats if s is not None)
+        n_never = sum(s.recovered_tasks for s in never.stats if s is not None)
+        assert n_every <= n_never
+        assert every.max_error is not None and every.max_error < 1e-10
+
+
+class TestDeterminism:
+    def test_same_plan_same_run(self, healthy):
+        plan = _crash_plan(0.5 * healthy.elapsed)
+        a, b = _run(plan), _run(plan)
+        assert a.elapsed == b.elapsed
+        assert ([None if s is None else s.recovered_tasks for s in a.stats]
+                == [None if s is None else s.recovered_tasks for s in b.stats])
+
+    def test_crash_points_identical_across_jobs(self):
+        healthy = _run(payload="synthetic", verify=False)
+        plan = _crash_plan(0.5 * healthy.elapsed)
+        specs = [PointSpec("srumma", LINUX_MYRINET, P, N,
+                           options=SrummaOptions(dynamic=True), faults=plan)]
+        serial = run_points(specs, jobs=1)
+        parallel = run_points(specs, jobs=2)
+        assert serial[0].elapsed == parallel[0].elapsed
+        assert serial[0].gflops == parallel[0].gflops

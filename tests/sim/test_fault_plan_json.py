@@ -1,0 +1,167 @@
+"""Property tests for the :class:`FaultPlan` JSON round-trip.
+
+The ``--fault-plan FILE`` CLI path deserialises operator-written JSON, so
+the contract is stricter than "our own dumps load back":
+
+- *any* valid plan — including crash schedules and ABFT corruption rates —
+  survives ``to_json_dict`` -> ``json.dumps`` -> ``json.loads`` ->
+  ``from_json_dict`` exactly (dataclass equality, which is field-exact);
+- malformed blobs are rejected with :class:`ValueError` at load time,
+  never deferred to a mid-run crash deep inside the simulator.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    FaultPlan,
+    LinkBrownout,
+    NicOutage,
+    NodeCrash,
+    StragglerWindow,
+)
+
+# Finite, JSON-exact floats (json round-trips Python floats losslessly,
+# but NaN != NaN would break equality, so keep draws finite).
+_frac = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_pos = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+_factor = st.floats(min_value=1e-3, max_value=0.999, allow_nan=False)
+
+
+@st.composite
+def _windows(draw):
+    t0 = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    dt = draw(_pos)
+    return t0, t0 + dt
+
+
+@st.composite
+def _brownouts(draw):
+    t0, t1 = draw(_windows())
+    return LinkBrownout(node=draw(st.integers(0, 7)), t_start=t0, t_end=t1,
+                        factor=draw(_factor),
+                        direction=draw(st.sampled_from(("out", "in", "both"))))
+
+
+@st.composite
+def _outages(draw):
+    t0, t1 = draw(_windows())
+    return NicOutage(node=draw(st.integers(0, 7)), t_start=t0, t_end=t1,
+                     residual=draw(st.floats(min_value=1e-6, max_value=1.0,
+                                             allow_nan=False)))
+
+
+@st.composite
+def _stragglers(draw):
+    # One window per rank, so the no-overlap validation cannot fire.
+    t0, t1 = draw(_windows())
+    return StragglerWindow(rank=draw(st.integers(0, 63)), t_start=t0,
+                           t_end=t1,
+                           slowdown=draw(st.floats(min_value=1.0,
+                                                   max_value=16.0,
+                                                   allow_nan=False)))
+
+
+@st.composite
+def _crashes(draw):
+    t_fail = draw(_pos)
+    recover = draw(st.one_of(st.none(), _pos))
+    return NodeCrash(node=draw(st.integers(0, 7)), t_fail=t_fail,
+                     t_recover=None if recover is None else t_fail + recover,
+                     residual=draw(st.floats(min_value=1e-6, max_value=1.0,
+                                             allow_nan=False)))
+
+
+@st.composite
+def _plans(draw):
+    stragglers = {w.rank: w for w in draw(st.lists(_stragglers(), max_size=3))}
+    crashes = {c.node: c for c in draw(st.lists(_crashes(), max_size=3))}
+    return FaultPlan(
+        brownouts=tuple(draw(st.lists(_brownouts(), max_size=3))),
+        outages=tuple(draw(st.lists(_outages(), max_size=3))),
+        stragglers=tuple(stragglers.values()),
+        crashes=tuple(crashes.values()),
+        get_fail_prob=draw(_frac),
+        corruption_rate=draw(_frac),
+        seed=draw(st.integers(0, 2**63 - 1)),
+        max_retries=draw(st.integers(0, 10)),
+        backoff_base=draw(st.floats(min_value=0.0, max_value=1.0,
+                                    allow_nan=False)),
+        backoff_factor=draw(st.floats(min_value=1.0, max_value=10.0,
+                                      allow_nan=False)),
+        detect_timeout=draw(st.floats(min_value=0.0, max_value=1.0,
+                                      allow_nan=False)),
+        get_timeout=draw(st.one_of(st.none(), _pos)),
+        checkpoint_interval=draw(st.integers(1, 64)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_plans())
+    def test_any_valid_plan_survives_json(self, plan):
+        wire = json.dumps(plan.to_json_dict(), sort_keys=True)
+        assert FaultPlan.from_json_dict(json.loads(wire)) == plan
+
+    @settings(max_examples=60, deadline=None)
+    @given(_plans())
+    def test_wire_form_is_canonical(self, plan):
+        # Serialising the reloaded plan reproduces the exact bytes — the
+        # property the on-disk result cache's canonical keys rely on.
+        once = json.dumps(plan.to_json_dict(), sort_keys=True)
+        again = json.dumps(
+            FaultPlan.from_json_dict(json.loads(once)).to_json_dict(),
+            sort_keys=True)
+        assert once == again
+
+    def test_crash_and_corruption_fields_hit_the_wire(self):
+        plan = FaultPlan(crashes=(NodeCrash(node=3, t_fail=0.5),),
+                         corruption_rate=0.25, checkpoint_interval=2,
+                         get_timeout=1.0)
+        blob = plan.to_json_dict()
+        assert blob["crashes"] == [{"node": 3, "t_fail": 0.5,
+                                    "t_recover": None, "residual": 1e-4}]
+        assert blob["corruption_rate"] == 0.25
+        assert blob["checkpoint_interval"] == 2
+        assert FaultPlan.from_json_dict(blob) == plan
+
+    def test_save_load_file(self, tmp_path):
+        plan = FaultPlan(crashes=(NodeCrash(node=1, t_fail=2.0,
+                                            t_recover=3.0),),
+                         corruption_rate=0.1)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+
+class TestCorruptBlobs:
+    @pytest.mark.parametrize("blob", [
+        [],                                        # not an object
+        "plan",                                    # not an object
+        {"bogus_field": 1},                        # unknown key
+        {"crashes": [{"node": 0}]},                # missing t_fail
+        {"crashes": [{"node": 0, "t_fail": -1.0}]},   # invalid value
+        {"crashes": [{"node": 0, "t_fail": 1.0,
+                      "t_recover": 0.5}]},         # recover before fail
+        {"crashes": [{"node": 0, "t_fail": 1.0},
+                     {"node": 0, "t_fail": 2.0}]},  # duplicate crash node
+        {"corruption_rate": 1.5},                  # out of range
+        {"checkpoint_interval": 0},                # out of range
+        {"get_timeout": 0.0},                      # out of range
+        {"stragglers": [{"rank": 0, "t_start": 0.0, "t_end": 2.0,
+                         "slowdown": 1.5},
+                        {"rank": 0, "t_start": 1.0, "t_end": 3.0,
+                         "slowdown": 2.0}]},       # overlapping windows
+    ])
+    def test_rejected_with_value_error(self, blob):
+        with pytest.raises((ValueError, TypeError)):
+            FaultPlan.from_json_dict(blob)
+
+    def test_truncated_file_raises_cleanly(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"get_fail_prob": 0.5, "crash')
+        with pytest.raises(json.JSONDecodeError):
+            FaultPlan.load(path)

@@ -320,22 +320,54 @@ class TestGetFailureDraws:
     def test_draw_sequence_is_deterministic(self):
         a = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
         b = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
-        assert [a.draw_get_failure() for _ in range(200)] == \
-            [b.draw_get_failure() for _ in range(200)]
+        assert [a.draw_get_failure(r % 4) for r in range(200)] == \
+            [b.draw_get_failure(r % 4) for r in range(200)]
 
     def test_zero_prob_never_fails_but_advances_counter(self):
         inj = self._injector(FaultPlan(get_fail_prob=0.0))
-        assert not any(inj.draw_get_failure() for _ in range(50))
-        assert inj._get_draws == 50
+        assert not any(inj.draw_get_failure(1) for _ in range(50))
+        assert inj._draws[(inj._GET_FAIL_KIND, 1)] == 50
 
     def test_prob_one_always_fails(self):
         inj = self._injector(FaultPlan(get_fail_prob=1.0))
-        assert all(inj.draw_get_failure() for _ in range(50))
+        assert all(inj.draw_get_failure(0) for _ in range(50))
 
     def test_observed_rate_tracks_probability(self):
         inj = self._injector(FaultPlan(get_fail_prob=0.2, seed=4))
-        fails = sum(inj.draw_get_failure() for _ in range(5000))
+        fails = sum(inj.draw_get_failure(2) for _ in range(5000))
         assert fails / 5000 == pytest.approx(0.2, abs=0.03)
+
+    def test_stream_is_per_rank(self):
+        """Regression: draws used to come from one global sequence, so
+        adding a draw on rank 0 perturbed every other rank's future draws.
+        Now each (kind, rank) pair owns an independent counter+stream."""
+        a = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
+        b = self._injector(FaultPlan(get_fail_prob=0.3, seed=9))
+        seq_a = [a.draw_get_failure(3) for _ in range(100)]
+        # b interleaves draws on other ranks; rank 3's stream must not move.
+        seq_b = []
+        for i in range(100):
+            b.draw_get_failure(0)
+            seq_b.append(b.draw_get_failure(3))
+            if i % 3 == 0:
+                b.draw_get_failure(1)
+        assert seq_a == seq_b
+
+    def test_corruption_stream_independent_of_failure_stream(self):
+        inj = self._injector(FaultPlan(get_fail_prob=0.3,
+                                       corruption_rate=0.3, seed=9))
+        ref = self._injector(FaultPlan(get_fail_prob=0.3,
+                                       corruption_rate=0.3, seed=9))
+        seq = [inj.draw_corruption(1) for _ in range(100)]
+        ref_seq = []
+        for _ in range(100):
+            ref.draw_get_failure(1)  # same rank, different kind
+            ref_seq.append(ref.draw_corruption(1))
+        assert seq == ref_seq
+        # And the two kinds genuinely differ (not one salted stream).
+        fresh = self._injector(FaultPlan(get_fail_prob=0.3,
+                                         corruption_rate=0.3, seed=9))
+        assert [fresh.draw_get_failure(1) for _ in range(100)] != seq
 
 
 # -- straggler dilation -------------------------------------------------------
