@@ -11,6 +11,15 @@ paper machine models, plus the 256-rank *contended* workload (diagonal
 shift disabled so many concurrent flows pile onto shared NIC links) that
 stresses the fairness reallocator hardest.
 
+Schema 4 adds the large-rank tier: *phase-traffic* workloads
+(``myrinet-1024``/``myrinet-4096``) replaying SRUMMA phase communication
+straight into the flow network at 1024–4096 ranks — the 1024-rank record
+carries the >=5x engine-modes-on-vs-off acceptance gate, the 4096-rank
+record must beat the pre-modes engine's 1024-rank figure time — and a
+*hierarchical* two-level SRUMMA protocol run at 1024 ranks (the CI
+large-rank smoke workload).  Both record the engine-mode counters
+(``engine_ff_jumps``, ``flows_aggregated``, ``dispatch_batches``).
+
 On top of the single-simulation workloads there is a *sweep-level*
 benchmark: a multi-point figure-style sweep executed serially
 (``jobs=1``) and through the parallel point executor
@@ -60,13 +69,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.parallel import PointSpec, resolve_jobs, run_points  # noqa: E402
+from repro.bench.traffic import srumma_phase_traffic  # noqa: E402
 from repro.core.api import srumma_multiply  # noqa: E402
+from repro.core.hierarchical import hierarchical_multiply  # noqa: E402
 from repro.core.schedule import ScheduleOptions  # noqa: E402
 from repro.core.srumma import SrummaOptions  # noqa: E402
 from repro.machines.platforms import get_platform  # noqa: E402
+from repro.sim.cluster import Machine  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+# Median host seconds of the 1024-rank contended SRUMMA figure workload on
+# the *pre-modes* engine (every scaling mode off), measured on the same
+# host class that records BENCH_wallclock.json.  The myrinet-4096 budget:
+# the scaled engine must finish a 4096-rank point in less time than the
+# old engine needed for a quarter of the ranks.
+PRE_MODES_1024_CONTENDED_S = 187.09
+
+# All-off tuning: the step-by-step pre-modes engine, for on/off gates.
+MODES_OFF = dict(batched_dispatch=False, fast_forward=False,
+                 aggregation=False)
 
 # (name, machine, nranks, mnk, diagonal_shift).  The contended workload is
 # the acceptance gate: every CPU of a node fetches from the same remote
@@ -86,6 +109,29 @@ WORKLOADS: list[tuple[str, str, int, int, bool]] = [
     ("altix-64", "sgi-altix", 64, 2048, True),
     ("altix-128", "sgi-altix", 128, 2048, True),
     ("altix-256", "sgi-altix", 256, 2048, True),
+]
+
+# Large-rank phase-traffic workloads: (name, machine, nranks, phases,
+# subpanels, base_bytes, off_reps, budget_s).  These replay SRUMMA phase
+# communication straight into the flow network (see repro.bench.traffic)
+# at rank counts where allocation cost *is* the workload.  ``off_reps``
+# extra reps run with every engine mode off — the pre-modes engine — to
+# record ``modes_speedup`` (the 1024-rank acceptance gate is >=5x);
+# ``budget_s`` asserts an absolute ceiling on the modes-on median (the
+# 4096-rank point must beat the pre-modes engine's 1024-rank figure time).
+PHASE_WORKLOADS: list[tuple[str, str, int, int, int, float, int,
+                            float | None]] = [
+    ("myrinet-1024", "linux-myrinet", 1024, 2, 8, float(1 << 20), 1, None),
+    ("myrinet-4096", "linux-myrinet", 4096, 2, 8, float(1 << 20), 0,
+     PRE_MODES_1024_CONTENDED_S),
+]
+
+# Hierarchical two-level SRUMMA workloads: (name, machine, nranks, mnk).
+# Full protocol runs (per-rank processes, synthetic payload) at rank
+# counts the flat figure workloads cannot afford — the CI large-rank
+# smoke job runs the first entry with --reps 1 under a host-time budget.
+HIER_WORKLOADS: list[tuple[str, str, int, int]] = [
+    ("myrinet-1024-hier", "linux-myrinet", 1024, 4096),
 ]
 
 # Sweep-level workloads: (name, machine, nranks, sizes, algorithms).  Each
@@ -137,6 +183,7 @@ def run_workload(name: str, machine: str, nranks: int, mnk: int,
         engine_steps = getattr(engine, "steps",
                                getattr(engine, "_step_count", None))
         engine_compactions = getattr(engine, "compactions", None)
+        mode_counters = _mode_counters(result.run.machine)
     return {
         "machine": machine,
         "nranks": nranks,
@@ -147,6 +194,117 @@ def run_workload(name: str, machine: str, nranks: int, mnk: int,
         "virtual_elapsed_s": virtual_elapsed,
         "engine_steps": engine_steps,
         "engine_compactions": engine_compactions,
+        **mode_counters,
+    }
+
+
+def _mode_counters(machine) -> dict:
+    """The scaling-mode counters of one finished machine, for the JSON."""
+    return {
+        "engine_ff_jumps": machine.net.ff_jumps,
+        "flows_aggregated": machine.net.flows_aggregated,
+        "dispatch_batches": machine.engine.dispatch_batches,
+    }
+
+
+def run_phase_workload(name: str, machine_name: str, nranks: int,
+                       phases: int, subpanels: int, base_bytes: float,
+                       off_reps: int, budget_s: float | None,
+                       reps: int) -> dict:
+    """Replay SRUMMA phase traffic with the engine modes on (and, for
+    ``off_reps`` extra reps, with the pre-modes step engine) and record
+    the on/off wall-clock ratio.
+
+    The virtual end time must be bitwise identical across reps *and*
+    across mode settings — the exact-equivalence contract of the modes —
+    or the benchmark aborts.
+    """
+    spec = get_platform(machine_name)
+    virtual_elapsed = None
+    stats = None
+
+    def one(tuning: dict) -> float:
+        nonlocal virtual_elapsed, stats
+        m = Machine(spec, nranks, **tuning)
+        t0 = time.perf_counter()
+        st = srumma_phase_traffic(m, phases=phases, subpanels=subpanels,
+                                  base_bytes=base_bytes)
+        dt = time.perf_counter() - t0
+        if virtual_elapsed is None:
+            virtual_elapsed = st["virtual_elapsed"]
+            stats = st
+        elif st["virtual_elapsed"] != virtual_elapsed:
+            raise AssertionError(
+                f"{name}: virtual elapsed diverged across reps/modes "
+                f"({virtual_elapsed} vs {st['virtual_elapsed']})")
+        return dt
+
+    runs = [one({}) for _ in range(reps)]
+    off_runs = [one(MODES_OFF) for _ in range(off_reps)]
+    median = statistics.median(runs)
+    rec = {
+        "kind": "phases",
+        "machine": machine_name,
+        "nranks": nranks,
+        "phases": phases,
+        "subpanels": subpanels,
+        "base_bytes": base_bytes,
+        "flows": stats["flows"],
+        "runs_s": [round(r, 6) for r in runs],
+        "median_s": round(median, 6),
+        "virtual_elapsed_s": virtual_elapsed,
+        "reallocations": stats["reallocations"],
+        "engine_ff_jumps": stats["ff_jumps"],
+        "flows_aggregated": stats["flows_aggregated"],
+        "dispatch_batches": stats["dispatch_batches"],
+    }
+    if off_runs:
+        off_median = statistics.median(off_runs)
+        rec["modes_off_runs_s"] = [round(r, 6) for r in off_runs]
+        rec["modes_off_median_s"] = round(off_median, 6)
+        if median > 0:
+            rec["modes_speedup"] = round(off_median / median, 3)
+    if budget_s is not None:
+        rec["budget_s"] = budget_s
+        if median >= budget_s:
+            raise AssertionError(
+                f"{name}: modes-on median {median:.2f}s missed the "
+                f"{budget_s}s budget (pre-modes 1024-rank figure time)")
+    return rec
+
+
+def run_hier_workload(name: str, machine_name: str, nranks: int, mnk: int,
+                      reps: int) -> dict:
+    """Time a full hierarchical two-level SRUMMA protocol run."""
+    spec = get_platform(machine_name)
+    runs: list[float] = []
+    virtual_elapsed = None
+    rec_extra: dict = {}
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = hierarchical_multiply(spec, nranks=nranks, m=mnk, n=mnk, k=mnk,
+                                    payload="synthetic", verify=False)
+        runs.append(time.perf_counter() - t0)
+        if virtual_elapsed is None:
+            virtual_elapsed = res.elapsed
+        elif res.elapsed != virtual_elapsed:
+            raise AssertionError(
+                f"{name}: virtual elapsed changed across identical runs "
+                f"({virtual_elapsed} vs {res.elapsed})")
+        rec_extra = {
+            "node_grid": list(res.node_grid),
+            "kb": res.kb,
+            **_mode_counters(res.run.machine),
+        }
+    return {
+        "kind": "hier",
+        "machine": machine_name,
+        "nranks": nranks,
+        "mnk": mnk,
+        "runs_s": [round(r, 6) for r in runs],
+        "median_s": round(statistics.median(runs), 6),
+        "virtual_elapsed_s": virtual_elapsed,
+        **rec_extra,
     }
 
 
@@ -330,14 +488,19 @@ def main(argv=None) -> dict:
     args = parser.parse_args(argv)
 
     selected = WORKLOADS
+    selected_phases = PHASE_WORKLOADS
+    selected_hier = HIER_WORKLOADS
     selected_sweeps = SWEEP_WORKLOADS
     selected_caches = CACHE_WORKLOADS
     if args.only:
         pat = re.compile(args.only)
         selected = [w for w in WORKLOADS if pat.search(w[0])]
+        selected_phases = [w for w in PHASE_WORKLOADS if pat.search(w[0])]
+        selected_hier = [w for w in HIER_WORKLOADS if pat.search(w[0])]
         selected_sweeps = [w for w in SWEEP_WORKLOADS if pat.search(w[0])]
         selected_caches = [w for w in CACHE_WORKLOADS if pat.search(w[0])]
-        if not selected and not selected_sweeps and not selected_caches:
+        if not any((selected, selected_phases, selected_hier,
+                    selected_sweeps, selected_caches)):
             parser.error(f"--only {args.only!r} matched no workloads")
 
     jobs = resolve_jobs(args.jobs)
@@ -345,6 +508,25 @@ def main(argv=None) -> dict:
     for name, machine, nranks, mnk, diag in selected:
         print(f"[bench_wallclock] {name} ...", flush=True)
         rec = run_workload(name, machine, nranks, mnk, diag, args.reps)
+        records[name] = rec
+        print(f"[bench_wallclock] {name}: median {rec['median_s']:.3f}s "
+              f"over {args.reps} reps", flush=True)
+
+    for name, machine, nranks, phases, subp, base, off_reps, budget in \
+            selected_phases:
+        print(f"[bench_wallclock] {name} ...", flush=True)
+        rec = run_phase_workload(name, machine, nranks, phases, subp, base,
+                                 off_reps, budget, args.reps)
+        records[name] = rec
+        gate = (f", modes off {rec['modes_off_median_s']:.3f}s "
+                f"({rec['modes_speedup']}x)"
+                if "modes_speedup" in rec else "")
+        print(f"[bench_wallclock] {name}: median {rec['median_s']:.3f}s"
+              f"{gate}", flush=True)
+
+    for name, machine, nranks, mnk in selected_hier:
+        print(f"[bench_wallclock] {name} ...", flush=True)
+        rec = run_hier_workload(name, machine, nranks, mnk, args.reps)
         records[name] = rec
         print(f"[bench_wallclock] {name}: median {rec['median_s']:.3f}s "
               f"over {args.reps} reps", flush=True)
@@ -412,6 +594,56 @@ if pytest is not None:
         if "speedup" not in rec:
             pytest.skip("no baseline merged into BENCH_wallclock.json")
         assert rec["speedup"] >= 3.0
+
+    @pytest.mark.slow
+    def test_wallclock_phase_smoke():
+        """Phase-traffic workload runs at a reduced rank count; the on/off
+        virtual-time identity and the speedup fields are recorded."""
+        rec = run_phase_workload("phase-smoke", "linux-myrinet", 64,
+                                 phases=1, subpanels=4,
+                                 base_bytes=float(1 << 18),
+                                 off_reps=1, budget_s=None, reps=1)
+        assert rec["kind"] == "phases"
+        assert rec["median_s"] > 0
+        assert rec["virtual_elapsed_s"] > 0
+        assert rec["flows_aggregated"] > 0      # bursts actually merged
+        assert "modes_speedup" in rec           # the off rep ran
+
+    @pytest.mark.slow
+    def test_wallclock_phase_gate_vs_recorded():
+        """The committed myrinet-1024 phase workload must show the >=5x
+        modes-on vs modes-off gate."""
+        if not DEFAULT_OUT.exists():
+            pytest.skip("no BENCH_wallclock.json recorded yet")
+        data = json.loads(DEFAULT_OUT.read_text())
+        rec = data["workloads"].get("myrinet-1024")
+        if rec is None:
+            pytest.skip("myrinet-1024 not recorded yet")
+        assert rec["modes_speedup"] >= 5.0, (
+            f"engine modes only {rec['modes_speedup']}x over the "
+            "pre-modes engine at 1024 ranks")
+
+    @pytest.mark.slow
+    def test_wallclock_4096_budget_vs_recorded():
+        """The committed myrinet-4096 point must have beaten the pre-modes
+        engine's 1024-rank figure time."""
+        if not DEFAULT_OUT.exists():
+            pytest.skip("no BENCH_wallclock.json recorded yet")
+        data = json.loads(DEFAULT_OUT.read_text())
+        rec = data["workloads"].get("myrinet-4096")
+        if rec is None:
+            pytest.skip("myrinet-4096 not recorded yet")
+        assert rec["median_s"] < rec["budget_s"]
+
+    @pytest.mark.slow
+    def test_wallclock_hier_smoke():
+        """Hierarchical workload runs end to end at a reduced size."""
+        rec = run_hier_workload("hier-smoke", "linux-myrinet", 64, 512,
+                                reps=1)
+        assert rec["kind"] == "hier"
+        assert rec["median_s"] > 0
+        assert rec["virtual_elapsed_s"] > 0
+        assert rec["kb"] >= 1
 
     @pytest.mark.slow
     def test_wallclock_sweep_smoke(tmp_path):

@@ -25,9 +25,11 @@ Package map:
 """
 
 from .core import (
+    HierarchicalResult,
     MultiplyResult,
     ScheduleOptions,
     SrummaOptions,
+    hierarchical_multiply,
     srumma_multiply,
 )
 from .comm import run_parallel
@@ -35,9 +37,11 @@ from .comm import run_parallel
 __version__ = "1.0.0"
 
 __all__ = [
+    "HierarchicalResult",
     "MultiplyResult",
     "ScheduleOptions",
     "SrummaOptions",
+    "hierarchical_multiply",
     "srumma_multiply",
     "run_parallel",
     "__version__",

@@ -17,6 +17,7 @@ in-process; their sweeps are too cheap to be worth a pool).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from ..core.srumma import SrummaOptions
@@ -327,6 +328,76 @@ def _crash(full: bool, jobs: Optional[int] = 1,
              "inflation"], rows)
 
 
+def _comm_bound(full: bool, jobs: Optional[int] = 1,
+                cache=None, verbose: bool = False) -> Result:
+    """Measured per-rank network volume vs the communication lower bound.
+
+    COSMA (arXiv 1908.09606, after Ballard et al.) proves any schedule of
+    the ``mnk`` multiplication cube moves at least
+
+        ``Q >= 2*m*n*k / (P * sqrt(S))``   words per processor,
+
+    where ``S`` is the local memory, with the memory-independent floor
+    from Loomis-Whitney (Irony-Toledo-Tiskin): a processor covering
+    ``mnk/P`` elementary products must touch at least ``3*(mnk/P)^(2/3)``
+    distinct words, so its wire traffic is at least that minus what it
+    already holds.  The measurement here is NIC bytes per *node*
+    (intra-node loopback and shared-memory loads never touch the network),
+    so the bound treats each node as one processor of the node grid, with
+    the node's aggregate resident blocks of A, B and C as both its ``S``
+    and its subtracted resident set — the tightest statement about
+    unavoidable wire traffic.
+
+    The hierarchical two-level algorithm is built to approach exactly this
+    bound: only its leaders touch the NICs, so its volume follows the
+    domain grid, while the flat algorithms pay rank-grid volume from every
+    CPU of the node.  Runs in-process (the points are read for their
+    machine byte counters, not just timings), so ``jobs`` is ignored;
+    every simulation is seeded and deterministic.
+    """
+    from ..baselines.summa import summa_multiply
+    from ..core.api import srumma_multiply
+    from ..core.hierarchical import hierarchical_multiply
+    from .runner import default_nb
+
+    n, ranks = (2048, (64, 256)) if full else (768, (16, 64))
+    algs = ("srumma", "summa", "hierarchical")
+    rows = []
+    for nranks in ranks:
+        measured = {}
+        nnodes = None
+        for alg in algs:
+            if alg == "srumma":
+                res = srumma_multiply(LINUX_MYRINET, nranks, n, n, n,
+                                      payload="synthetic", verify=False)
+            elif alg == "summa":
+                res = summa_multiply(LINUX_MYRINET, nranks, n, n, n,
+                                     payload="synthetic", verify=False,
+                                     kb=default_nb(n, nranks))
+            else:
+                res = hierarchical_multiply(LINUX_MYRINET, nranks, n, n, n,
+                                            payload="synthetic", verify=False)
+            machine = res.run.machine
+            nnodes = len(machine.nodes)
+            nic_bytes = sum(node.nic_out.bytes_carried
+                            for node in machine.nodes)
+            measured[alg] = nic_bytes / nnodes
+        mnk = float(n) ** 3
+        resident = 3.0 * n * n / nnodes  # this node's blocks of A, B, C
+        bound_words = max(
+            2.0 * mnk / (nnodes * math.sqrt(resident)) - 2.0 * resident,
+            3.0 * (mnk / nnodes) ** (2.0 / 3.0) - resident,
+            0.0)
+        bound = 8.0 * bound_words
+        rows.append([nranks, nnodes]
+                    + [measured[a] / 1e6 for a in algs]
+                    + [bound / 1e6, measured["hierarchical"] / bound])
+    return (f"Communication lower bound — N={n}, {LINUX_MYRINET.name} "
+            f"(MB per node)",
+            ["CPUs", "nodes", "srumma", "summa", "hierarchical",
+             "lower bound", "hier/bound"], rows)
+
+
 EXPERIMENTS: dict[str, Callable[..., Result]] = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -336,6 +407,7 @@ EXPERIMENTS: dict[str, Callable[..., Result]] = {
     "fig10": _fig10,
     "table1": _table1,
     "diag-shift": _diag_shift,
+    "comm-bound": _comm_bound,
     "resilience": _resilience,
     "crash": _crash,
 }

@@ -17,12 +17,13 @@ from ..baselines.fox import fox_multiply
 from ..baselines.pdgemm import pdgemm_multiply
 from ..baselines.summa import summa_multiply
 from ..core.api import srumma_multiply
+from ..core.hierarchical import hierarchical_multiply
 from ..core.srumma import SrummaOptions
 from ..machines.spec import MachineSpec
 
 __all__ = ["ALGORITHMS", "MatmulPoint", "run_matmul", "sweep", "default_nb"]
 
-ALGORITHMS = ("srumma", "pdgemm", "summa", "cannon", "fox")
+ALGORITHMS = ("srumma", "hierarchical", "pdgemm", "summa", "cannon", "fox")
 
 
 @dataclass
@@ -78,6 +79,13 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
                               verify=verify, seed=seed,
                               interference=interference, faults=faults)
         extra = {"grid": res.grid}
+    elif algorithm == "hierarchical":
+        if transa or transb:
+            raise ValueError("hierarchical SRUMMA supports only the NN case")
+        res = hierarchical_multiply(spec, nranks, m, n, k, payload=payload,
+                                    verify=verify, kb=nb, seed=seed,
+                                    interference=interference, faults=faults)
+        extra = {"node_grid": res.node_grid, "kb": res.kb}
     elif algorithm == "pdgemm":
         res = pdgemm_multiply(spec, nranks, m, n, k, transa=transa,
                               transb=transb, payload=payload, verify=verify,

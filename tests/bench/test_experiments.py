@@ -8,7 +8,7 @@ from repro.cli import main
 
 def test_registry_covers_every_figure_and_table():
     expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "table1", "diag-shift", "resilience", "crash"}
+                "table1", "diag-shift", "resilience", "crash", "comm-bound"}
     assert expected == set(EXPERIMENTS)
 
 
@@ -32,6 +32,19 @@ def test_quick_fig9_shape():
     for row in rows:
         for j in range(zc_nb + 1, len(row)):
             assert row[zc_nb] >= row[j]
+
+
+def test_quick_comm_bound_is_a_lower_bound():
+    """Every algorithm's measured per-node NIC traffic sits at or above
+    the COSMA-style analytic bound, with hierarchical SRUMMA closest."""
+    _, headers, rows = run_experiment("comm-bound")
+    bound = headers.index("lower bound")
+    algs = [headers.index(a) for a in ("srumma", "summa", "hierarchical")]
+    hier = headers.index("hierarchical")
+    for row in rows:
+        for a in algs:
+            assert row[a] >= row[bound]
+        assert row[hier] == min(row[a] for a in algs)
 
 
 def test_quick_fig10_srumma_wins():

@@ -65,7 +65,7 @@ def _simulate(allocator, bandwidths, flow_specs, probe_times=()):
             if pt > t:
                 yield Timeout(pt - t)
                 t = pt
-            samples.append(sorted((f.label, f.rate) for f in net._flows))
+            samples.append(sorted(net.flow_rates()))
 
     eng.spawn(launcher())
     if probe_times:
