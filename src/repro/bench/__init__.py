@@ -8,7 +8,17 @@ from .microbench import (
     measure_overlap,
     overlap_sweep,
 )
-from .parallel import PointExecutionError, PointSpec, resolve_jobs, run_points
+from .chaos import ChaosInterrupt, ChaosPlan
+from .journal import SweepJournal, sweep_key
+from .parallel import (
+    ExecutionPolicy,
+    FailedPoint,
+    PointExecutionError,
+    PointSpec,
+    SweepReport,
+    resolve_jobs,
+    run_points,
+)
 from .report import fmt_bytes, format_table, paper_vs_measured, print_table, to_csv
 from .runner import ALGORITHMS, MatmulPoint, default_nb, run_matmul, sweep
 
@@ -18,4 +28,6 @@ __all__ = [
     "fmt_bytes", "format_table", "paper_vs_measured", "print_table", "to_csv",
     "ALGORITHMS", "MatmulPoint", "default_nb", "run_matmul", "sweep",
     "PointExecutionError", "PointSpec", "resolve_jobs", "run_points",
+    "ExecutionPolicy", "FailedPoint", "SweepReport",
+    "SweepJournal", "sweep_key", "ChaosPlan", "ChaosInterrupt",
 ]

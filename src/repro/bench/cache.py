@@ -36,6 +36,28 @@ Tiers
   cross-run hits.  A damaged or mismatched entry is discarded and the
   point recomputed — corruption is never fatal.
 
+Concurrency and robustness
+--------------------------
+The disk tier assumes *nothing* about who else is using it:
+
+- **single-flight locks** — per-key ``.lock`` files (``O_CREAT|O_EXCL``)
+  let concurrent processes sharing one cache directory elect exactly one
+  simulator per unique point; the others :meth:`ResultCache.wait_for` the
+  entry and coalesce onto it.  A lock whose holder died (pid probe, then
+  an age bound for unprobeable holders) is reaped as stale, so a crashed
+  process can never wedge its peers.
+- **size bound** — ``max_bytes`` caps the current namespace; after each
+  write the least-recently-used entries (mtime, refreshed on every read)
+  are evicted until the namespace fits.
+- **graceful degradation** — every disk failure (ENOSPC, EACCES, a
+  corrupt entry, an unwritable lock) is counted, warned about once, and
+  answered by running *uncached*; after ``disable_after_io_errors``
+  consecutive failures the disk tier switches off for the rest of the
+  run.  No cache I/O failure mode can fail a sweep.
+- **chaos hooks** — a :class:`~repro.bench.chaos.ChaosPlan` injects
+  seeded I/O errors and entry corruption so all of the above is
+  exercised by deterministic tests, not just claimed.
+
 Stored payloads round-trip exactly: JSON encodes floats via ``repr``,
 which is shortest-round-trip in CPython, and tuples are tagged so decoded
 :class:`~repro.bench.runner.MatmulPoint` objects are field-identical to
@@ -48,6 +70,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
+import warnings
 from collections import OrderedDict
 from copy import deepcopy
 from functools import lru_cache
@@ -57,6 +81,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from .runner import MatmulPoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .chaos import ChaosPlan
     from .parallel import PointSpec
 
 __all__ = [
@@ -237,18 +262,34 @@ class CacheStats:
     corrupt_discarded: int = 0
     uncacheable: int = 0
     write_errors: int = 0
+    evictions: int = 0
+    """Disk entries removed to keep the namespace under ``max_bytes``."""
+    lock_waits: int = 0
+    """Times another process already held a point's single-flight lock."""
+    lock_timeouts: int = 0
+    """Lock waits that expired; the point was simulated locally instead."""
+    stale_locks_reaped: int = 0
+    """Locks whose holder was dead (or silent past the age bound)."""
+    coalesced: int = 0
+    """Points served from another process's concurrent simulation."""
+    io_errors: int = 0
+    """Disk failures absorbed by the degradation ladder (never fatal)."""
 
     @property
     def hits(self) -> int:
-        return self.memory_hits + self.disk_hits + self.deduped
+        return self.memory_hits + self.disk_hits + self.deduped + self.coalesced
 
     def summary(self) -> str:
         return (f"hits={self.hits} (memory={self.memory_hits} "
-                f"disk={self.disk_hits} dedup={self.deduped}) "
+                f"disk={self.disk_hits} dedup={self.deduped} "
+                f"coalesced={self.coalesced}) "
                 f"misses={self.misses} writes={self.writes} "
                 f"bytes_read={self.bytes_read} "
                 f"bytes_written={self.bytes_written} "
-                f"corrupt={self.corrupt_discarded}")
+                f"corrupt={self.corrupt_discarded} "
+                f"evictions={self.evictions} lock_waits={self.lock_waits} "
+                f"stale_reaped={self.stale_locks_reaped} "
+                f"io_errors={self.io_errors}")
 
 
 class ResultCache:
@@ -262,16 +303,93 @@ class ResultCache:
         LRU bound of the in-memory tier.
     use_disk:
         ``False`` keeps the cache purely in-memory (intra-run dedup only).
+    max_bytes:
+        Disk-tier size bound for the *current* namespace (stale namespaces
+        are ``repro cache clear``'s business); least-recently-used entries
+        are evicted after each write until the namespace fits.  ``None``
+        (default) means unbounded — the historical behaviour.
+    single_flight:
+        Per-key cross-process lock files electing one simulator per
+        unique point (:meth:`try_lock` / :meth:`wait_for`).  ``False``
+        makes :meth:`try_lock` trivially succeed (no coordination).
+    lock_timeout:
+        Default bound (seconds) on waiting for another process's
+        in-flight point before simulating it locally.
+    stale_lock_after:
+        Age (seconds) past which a lock whose holder cannot be probed is
+        presumed dead and reaped.
+    disable_after_io_errors:
+        Consecutive disk failures after which the disk tier is switched
+        off for the remainder of the run (memory tier keeps working).
+    chaos:
+        Optional :class:`~repro.bench.chaos.ChaosPlan` injecting seeded
+        I/O errors and entry corruption (tests / chaos drills).
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
-                 memory_entries: int = 4096, use_disk: bool = True):
+                 memory_entries: int = 4096, use_disk: bool = True,
+                 max_bytes: Optional[int] = None,
+                 single_flight: bool = True,
+                 lock_timeout: float = 600.0,
+                 stale_lock_after: float = 120.0,
+                 disable_after_io_errors: int = 8,
+                 chaos: Optional["ChaosPlan"] = None):
         self.directory = (Path(directory).expanduser() if directory is not None
                           else default_cache_dir())
         self.memory_entries = max(1, int(memory_entries))
         self.use_disk = use_disk
+        self.max_bytes = max_bytes
+        self.single_flight = single_flight
+        self.lock_timeout = lock_timeout
+        self.stale_lock_after = stale_lock_after
+        self.disable_after_io_errors = max(1, int(disable_after_io_errors))
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, MatmulPoint]" = OrderedDict()
+        self._chaos = chaos
+        self._chaos_ops = 0
+        self._chaos_writes = 0
+        self._disk_disabled = False
+        self._io_error_streak = 0
+        self._warned_io = False
+        self._held_locks: set[str] = set()
+
+    # -- degradation ladder ------------------------------------------------
+    def _disk_ok(self) -> bool:
+        return self.use_disk and not self._disk_disabled
+
+    def _io_failure(self, op: str, exc: Exception) -> None:
+        """Count, warn once, and possibly downgrade — never raise.
+
+        The ladder: one failure degrades that operation to uncached
+        behaviour; :attr:`disable_after_io_errors` *consecutive* failures
+        switch the disk tier off entirely (an unwritable or vanished
+        cache directory should not cost a stat per point forever).
+        """
+        self.stats.io_errors += 1
+        self._io_error_streak += 1
+        if not self._warned_io:
+            self._warned_io = True
+            warnings.warn(
+                f"result cache degraded: {op} failed ({exc!r}); affected "
+                f"points run uncached", RuntimeWarning, stacklevel=4)
+        if (self._io_error_streak >= self.disable_after_io_errors
+                and not self._disk_disabled):
+            self._disk_disabled = True
+            warnings.warn(
+                f"result cache disk tier disabled after "
+                f"{self._io_error_streak} consecutive I/O errors; "
+                f"continuing with the memory tier only",
+                RuntimeWarning, stacklevel=4)
+
+    def _io_ok(self) -> None:
+        self._io_error_streak = 0
+
+    def _chaos_io(self, op: str) -> None:
+        """Raise a seeded injected OSError inside a disk operation."""
+        if self._chaos is not None:
+            self._chaos_ops += 1
+            if self._chaos.cache_io_fails(self._chaos_ops):
+                raise OSError(f"chaos: injected I/O error on cache {op}")
 
     # -- key plumbing ------------------------------------------------------
     @property
@@ -320,13 +438,18 @@ class ResultCache:
         self.stats.deduped += 1
 
     def _read_disk(self, key: str) -> Optional[MatmulPoint]:
-        if not self.use_disk:
+        if not self._disk_ok():
             return None
         path = self._entry_path(key)
         try:
+            self._chaos_io("read")
             raw = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
+            return None  # the common miss: not an I/O *failure*
+        except OSError as exc:
+            self._io_failure("read", exc)
             return None
+        self._io_ok()
         try:
             entry = json.loads(raw)
             if (not isinstance(entry, dict)
@@ -343,6 +466,10 @@ class ResultCache:
                 pass
             return None
         self.stats.bytes_read += len(raw)
+        try:
+            os.utime(path)  # refresh LRU recency for the eviction scan
+        except OSError:
+            pass
         return point
 
     # -- store -------------------------------------------------------------
@@ -357,7 +484,7 @@ class ResultCache:
             self.stats.uncacheable += 1
             return
         self._remember(key, deepcopy(point))
-        if not self.use_disk:
+        if not self._disk_ok():
             return
         entry = {
             "entry_schema": CACHE_SCHEMA_VERSION,
@@ -369,18 +496,175 @@ class ResultCache:
         path = self._entry_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            self._chaos_io("write")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_bytes(data)
             os.replace(tmp, path)  # atomic: concurrent writers can race safely
-        except OSError:
+        except OSError as exc:
             self.stats.write_errors += 1
+            self._io_failure("write", exc)
             try:
                 tmp.unlink()
             except OSError:
                 pass
             return
+        self._io_ok()
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        if self._chaos is not None:
+            self._chaos_writes += 1
+            if self._chaos.corrupts_entry(self._chaos_writes):
+                try:  # garble the landed entry; the memory tier keeps the
+                    with open(path, "r+b") as fh:  # good copy for this run
+                        fh.truncate(max(1, len(data) // 2))
+                except OSError:
+                    pass
+        self._evict_if_needed(protect=key)
+
+    # -- single-flight locks -----------------------------------------------
+    def _lock_path(self, key: str) -> Path:
+        return self.namespace_dir / key[:2] / f"{key}.lock"
+
+    def try_lock(self, key: str) -> bool:
+        """Claim the right to simulate ``key``; ``False`` = someone has it.
+
+        ``True`` means this process should simulate the point (and later
+        :meth:`release`); that includes every degraded case — locking
+        switched off, disk tier down, or the lock file unwritable —
+        because simulating without coordination is always safe, merely
+        less deduplicated.  A lock whose holder is dead (pid probe) or
+        silent past ``stale_lock_after`` is reaped and re-contested.
+        """
+        if not self._disk_ok() or not self.single_flight:
+            return True
+        path = self._lock_path(key)
+        for _ in range(2):  # second pass re-contests a reaped stale lock
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(f"{os.getpid()} {time.time():.3f}\n")
+                self._held_locks.add(key)
+                return True
+            except FileExistsError:
+                if self._lock_is_stale(path):
+                    self.stats.stale_locks_reaped += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                self.stats.lock_waits += 1
+                return False
+            except OSError as exc:
+                self._io_failure("lock", exc)
+                return True
+        self.stats.lock_waits += 1
+        return False
+
+    def release(self, key: str) -> None:
+        """Drop a lock taken by :meth:`try_lock` (idempotent)."""
+        if key in self._held_locks:
+            self._held_locks.discard(key)
+            try:
+                self._lock_path(key).unlink()
+            except OSError:
+                pass
+
+    def _lock_is_stale(self, path: Path) -> bool:
+        try:
+            st = path.stat()
+        except OSError:
+            return True  # vanished under us: free to (re-)contest
+        age = time.time() - st.st_mtime
+        try:
+            pid = int(path.read_text().split()[0])
+        except (OSError, ValueError, IndexError):
+            return age > self.stale_lock_after
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)  # liveness probe, signal 0 delivers nothing
+        except ProcessLookupError:
+            return True      # the holder is gone on this host
+        except OSError:
+            pass             # cross-host / unprobeable: age decides
+        return age > self.stale_lock_after
+
+    def wait_for(self, key: str, timeout: Optional[float] = None,
+                 poll: float = 0.05) -> Optional[MatmulPoint]:
+        """Wait out another process's in-flight simulation of ``key``.
+
+        Returns the coalesced point when its entry lands, or ``None``
+        when the caller should simulate locally: the lock vanished with
+        no entry (the holder failed), went stale (the holder died), or
+        the wait timed out.  Never raises.
+        """
+        if not self._disk_ok():
+            return None
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.lock_timeout)
+        lock = self._lock_path(key)
+        while True:
+            point = self._read_disk(key)
+            if point is not None:
+                self.stats.coalesced += 1
+                self._remember(key, point)
+                return deepcopy(point)
+            try:
+                present = lock.exists()
+            except OSError as exc:
+                self._io_failure("lock poll", exc)
+                return None
+            if not present:
+                return None
+            if self._lock_is_stale(lock):
+                self.stats.stale_locks_reaped += 1
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+                return None
+            if time.monotonic() >= deadline:
+                self.stats.lock_timeouts += 1
+                return None
+            time.sleep(poll)
+
+    # -- eviction ----------------------------------------------------------
+    def _evict_if_needed(self, protect: str) -> None:
+        """LRU-evict current-namespace entries until under ``max_bytes``.
+
+        Recency is file mtime (refreshed on every read).  The entry just
+        written (``protect``) is exempt — a bound smaller than one entry
+        must still let the current point cache.  Runs after each write;
+        the scan is a few stats per cached point, noise next to the
+        25-40 s simulations the entries memoise.
+        """
+        if self.max_bytes is None or not self._disk_ok():
+            return
+        try:
+            entries = []
+            total = 0
+            for f in self.namespace_dir.rglob("*.json"):
+                st = f.stat()
+                total += st.st_size
+                entries.append((st.st_mtime, st.st_size, f))
+            if total <= self.max_bytes:
+                return
+            entries.sort(key=lambda e: (e[0], str(e[2])))
+            for _, size, f in entries:
+                if f.name == f"{protect}.json":
+                    continue
+                try:
+                    f.unlink()
+                except FileNotFoundError:
+                    continue  # a concurrent evictor got there first
+                self.stats.evictions += 1
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        except OSError as exc:
+            self._io_failure("evict", exc)
 
     def _remember(self, key: str, point: MatmulPoint) -> None:
         self._memory[key] = point
@@ -390,13 +674,16 @@ class ResultCache:
 
     # -- maintenance -------------------------------------------------------
     def disk_stats(self) -> dict:
-        """Entry/byte counts per namespace under :attr:`directory`."""
+        """Entry/byte counts per namespace under :attr:`directory`,
+        plus single-flight lock and sweep-journal surveys."""
         namespaces: dict[str, dict] = {}
         total_entries = 0
         total_bytes = 0
+        locks_live = 0
+        locks_stale = 0
         if self.directory.is_dir():
             for ns_dir in sorted(p for p in self.directory.iterdir()
-                                 if p.is_dir()):
+                                 if p.is_dir() and p.name != "journal"):
                 entries = 0
                 nbytes = 0
                 for f in ns_dir.rglob("*.json"):
@@ -405,6 +692,11 @@ class ResultCache:
                         nbytes += f.stat().st_size
                     except OSError:
                         pass
+                for f in ns_dir.rglob("*.lock"):
+                    if self._lock_is_stale(f):
+                        locks_stale += 1
+                    else:
+                        locks_live += 1
                 namespaces[ns_dir.name] = {
                     "entries": entries,
                     "bytes": nbytes,
@@ -412,19 +704,28 @@ class ResultCache:
                 }
                 total_entries += entries
                 total_bytes += nbytes
+        journal_dir = self.directory / "journal"
+        journals = (len(list(journal_dir.glob("*.jsonl")))
+                    if journal_dir.is_dir() else 0)
         return {
             "directory": str(self.directory),
             "namespace": self.namespace,
             "entries": total_entries,
             "bytes": total_bytes,
+            "max_bytes": self.max_bytes,
+            "locks_live": locks_live,
+            "locks_stale": locks_stale,
+            "journals": journals,
             "namespaces": namespaces,
         }
 
     def clear(self) -> int:
-        """Delete every disk entry (all namespaces) and the memory tier.
+        """Delete every disk entry (all namespaces), every lock, every
+        journal, and the memory tier.
 
-        Returns the number of entries removed.  Directories are pruned
-        best-effort; a concurrent writer can safely recreate them.
+        Returns the number of entries removed (locks and journals are
+        reaped but not counted).  Directories are pruned best-effort; a
+        concurrent writer can safely recreate them.
         """
         removed = 0
         self._memory.clear()
@@ -435,6 +736,12 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            for pattern in ("*.lock", "journal/*.jsonl"):
+                for f in self.directory.rglob(pattern):
+                    try:
+                        f.unlink()
+                    except OSError:
+                        pass
             for d in sorted(self.directory.rglob("*"), reverse=True):
                 if d.is_dir():
                     try:

@@ -1,0 +1,150 @@
+"""Deterministic harness-chaos layer: seeded failures for the *harness*.
+
+PR 4's :class:`~repro.sim.faults.FaultPlan` degrades the *simulated*
+machine; this module is its mirror one level up.  The sweep harness —
+worker pools, the result cache, the journal — has its own failure modes
+(OOM-killed workers, a full disk, a corrupted cache entry, the whole
+process dying mid-sweep), and every recovery path that claims to handle
+them must be *exercised*, not just written.  :class:`ChaosPlan` makes
+those failures injectable and reproducible:
+
+- **worker kills** — a seeded draw per ``(point index, attempt)`` makes
+  the worker process ``os._exit`` instead of returning, so the parent
+  sees a real ``BrokenProcessPool``, exactly like an OOM kill.  Retried
+  attempts draw independently, so a bounded-retry policy converges.
+- **harness kill** — ``kill_after=N`` raises :class:`ChaosInterrupt` in
+  the parent after the Nth *executed* point has been journaled, modeling
+  Ctrl-C / OOM / reboot at a deterministic instant; the sweep journal
+  must then make ``--resume`` byte-identical to an uninterrupted run.
+- **cache I/O errors** — a seeded draw per cache disk operation raises
+  ``OSError`` inside the cache, driving the graceful-degradation ladder
+  (the sweep must complete uncached, never fail).
+- **cache corruption** — a seeded draw per disk write garbles the entry
+  just after it lands, so a later read exercises the corrupt-discard
+  path.
+
+Determinism is the whole point: a plan is pure frozen data, every draw
+comes from the same stateless splitmix64 streams as the fault layer
+(:func:`repro.sim.faults.unit_uniform`), keyed per *kind* so adding one
+chaos kind never perturbs another's schedule.  Same seed => same kill
+and corruption schedule, asserted in ``tests/bench/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..sim.faults import unit_uniform
+
+__all__ = ["ChaosPlan", "ChaosInterrupt"]
+
+# Distinct stream salts per draw kind, mirroring the per-(kind, rank)
+# streams of the fault layer: a worker-kill draw can never consume (or
+# shift) a cache-corruption draw.
+_KIND_SALT = {
+    "worker_kill": 0x9E97_0001,
+    "cache_io": 0x9E97_0002,
+    "cache_corrupt": 0x9E97_0003,
+}
+
+# One attempt slot per point is bounded well below this; keeping the
+# stride fixed makes the draw for (index, attempt) a pure function of the
+# plan, independent of any retry policy in force.
+_ATTEMPT_STRIDE = 1024
+
+
+class ChaosInterrupt(RuntimeError):
+    """The plan's ``kill_after`` fired: the harness 'died' mid-sweep."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded schedule of harness failures; pure picklable data."""
+
+    seed: int = 0
+    worker_kill_prob: float = 0.0
+    """Probability that a pool worker ``os._exit``\\ s instead of returning
+    a given (point, attempt) execution.  Only the pool path can kill a
+    worker; the serial path has no worker process to lose."""
+    kill_after: Optional[int] = None
+    """Raise :class:`ChaosInterrupt` in the parent after this many points
+    have been *executed* (journaled if a journal is active) this run."""
+    cache_io_error_prob: float = 0.0
+    """Probability that one cache disk operation raises ``OSError``."""
+    cache_corrupt_prob: float = 0.0
+    """Probability that one cache disk write is garbled after landing."""
+
+    def __post_init__(self):
+        for name in ("worker_kill_prob", "cache_io_error_prob",
+                     "cache_corrupt_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.kill_after is not None and self.kill_after < 1:
+            raise ValueError(
+                f"kill_after must be >= 1, got {self.kill_after}")
+
+    # -- draws -------------------------------------------------------------
+    def _draw(self, kind: str, n: int) -> float:
+        return unit_uniform(self.seed ^ _KIND_SALT[kind], n)
+
+    def kills_worker(self, index: int, attempt: int) -> bool:
+        """Does the worker running (point ``index``, ``attempt``) die?"""
+        if self.worker_kill_prob <= 0.0:
+            return False
+        n = index * _ATTEMPT_STRIDE + min(attempt, _ATTEMPT_STRIDE - 1)
+        return self._draw("worker_kill", n) < self.worker_kill_prob
+
+    def cache_io_fails(self, op_counter: int) -> bool:
+        if self.cache_io_error_prob <= 0.0:
+            return False
+        return self._draw("cache_io", op_counter) < self.cache_io_error_prob
+
+    def corrupts_entry(self, write_counter: int) -> bool:
+        if self.cache_corrupt_prob <= 0.0:
+            return False
+        return (self._draw("cache_corrupt", write_counter)
+                < self.cache_corrupt_prob)
+
+    def kill_schedule(self, npoints: int, attempts: int = 4) -> list[tuple]:
+        """The full (index, attempt) worker-kill schedule — pure data, for
+        the same-seed determinism test and for sizing retry budgets."""
+        return [(i, a) for i in range(npoints) for a in range(attempts)
+                if self.kills_worker(i, a)]
+
+    # -- worker-side hook --------------------------------------------------
+    def maybe_kill_worker(self, index: int, attempt: int) -> None:
+        """Die like an OOM kill would: no exception, no traceback, just a
+        vanished process (the parent sees ``BrokenProcessPool``)."""
+        if self.kills_worker(index, attempt):
+            os._exit(137)
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        blob = json.loads(text)
+        if not isinstance(blob, dict):
+            raise ValueError("chaos plan JSON must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(f"unknown chaos plan fields: {sorted(unknown)}")
+        return cls(**blob)
+
+    @classmethod
+    def parse(cls, value: str) -> "ChaosPlan":
+        """CLI entry: inline JSON, or ``@file`` / a path to a JSON file."""
+        text = value.strip()
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text()
+        elif not text.startswith("{"):
+            text = Path(text).read_text()
+        return cls.from_json(text)

@@ -31,8 +31,30 @@ __all__ = ["EXPERIMENTS", "run_experiment"]
 Result = tuple[str, list[str], list[list]]
 
 
+def _gf(p) -> float:
+    """GFLOP/s of a point; NaN for one skipped by the error policy."""
+    return p.gflops if p is not None else math.nan
+
+
+def _el(p) -> float:
+    """Elapsed seconds of a point; NaN for one skipped by the error policy."""
+    return p.elapsed if p is not None else math.nan
+
+
+def _require_complete(points, what: str):
+    """Fault experiments derive their plans from healthy baselines; a
+    baseline hole (a point skipped by ``on_error``) would poison every
+    window edge downstream, so fail loudly instead."""
+    if any(p is None for p in points):
+        raise RuntimeError(
+            f"the {what} experiment needs a complete healthy baseline; "
+            f"rerun it without on_error=skip/retry losses")
+    return points
+
+
 def _fig5(full: bool, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False) -> Result:
+          cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     cases = [(spec, transa)
              for spec in (CRAY_X1, SGI_ALTIX)
              for transa in ((False, True) if full else (False,))]
@@ -40,19 +62,21 @@ def _fig5(full: bool, jobs: Optional[int] = 1,
         [PointSpec("srumma", spec, 16, 2000, transa=transa,
                    options=SrummaOptions(flavor=flavor))
          for spec, transa in cases for flavor in ("direct", "copy")],
-        jobs=jobs, cache=cache, verbose=verbose)
+        jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
     rows = []
     for i, (spec, transa) in enumerate(cases):
         case = "C=A^T B" if transa else "C=AB"
-        d = points[2 * i].gflops
-        c = points[2 * i + 1].gflops
+        d = _gf(points[2 * i])
+        c = _gf(points[2 * i + 1])
         rows.append([spec.name, case, d, c, d / c])
     return ("Fig. 5 — direct vs copy flavour, N=2000, 16 CPUs",
             ["platform", "case", "direct GF/s", "copy GF/s", "ratio"], rows)
 
 
 def _fig6(full: bool, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False) -> Result:
+          cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     shm = dict(bandwidth_sweep(CRAY_X1, "shmem", sizes))
     mpi = dict(bandwidth_sweep(CRAY_X1, "mpi", sizes))
@@ -62,7 +86,8 @@ def _fig6(full: bool, jobs: Optional[int] = 1,
 
 
 def _fig7(full: bool, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False) -> Result:
+          cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     sizes = tuple(1 << s for s in range(10, 23, 1 if full else 2))
     specs = (IBM_SP, LINUX_MYRINET) if full else (LINUX_MYRINET,)
     rows = []
@@ -78,7 +103,8 @@ def _fig7(full: bool, jobs: Optional[int] = 1,
 
 
 def _fig8(full: bool, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False) -> Result:
+          cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     sizes = tuple(1 << s for s in range(8, 23, 1 if full else 2))
     sp_get = dict(bandwidth_sweep(IBM_SP, "armci_get", sizes))
     sp_mpi = dict(bandwidth_sweep(IBM_SP, "mpi", sizes))
@@ -91,7 +117,8 @@ def _fig8(full: bool, jobs: Optional[int] = 1,
 
 
 def _fig9(full: bool, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False) -> Result:
+          cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     sizes = (600, 1000, 2000, 4000) if full else (1000, 2000)
     specs = []
     for n in sizes:
@@ -101,15 +128,17 @@ def _fig9(full: bool, jobs: Optional[int] = 1,
             for nonblocking in (True, False):
                 opts = SrummaOptions(flavor="cluster", nonblocking=nonblocking)
                 specs.append(PointSpec("srumma", spec, 16, n, options=opts))
-    points = run_points(specs, jobs=jobs, cache=cache, verbose=verbose)
-    rows = [[n] + [p.gflops for p in points[4 * i:4 * i + 4]]
+    points = run_points(specs, jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
+    rows = [[n] + [_gf(p) for p in points[4 * i:4 * i + 4]]
             for i, n in enumerate(sizes)]
     return ("Fig. 9 — zero-copy/nonblocking impact (GFLOP/s, 16 CPUs)",
             ["N", "zc+nb", "zc+blk", "nozc+nb", "nozc+blk"], rows)
 
 
 def _fig10(full: bool, jobs: Optional[int] = 1,
-           cache=None, verbose: bool = False) -> Result:
+           cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     sizes = (600, 1000, 2000, 4000, 8000, 12000) if full else (600, 2000)
     platforms = ([(LINUX_MYRINET, 128), (IBM_SP, 256),
                   (CRAY_X1, 128), (SGI_ALTIX, 128)] if full
@@ -118,10 +147,11 @@ def _fig10(full: bool, jobs: Optional[int] = 1,
     points = run_points(
         [PointSpec(alg, spec, nranks, n)
          for spec, nranks, n in cases for alg in ("srumma", "pdgemm")],
-        jobs=jobs, cache=cache, verbose=verbose)
+        jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
     rows = []
     for i, (spec, nranks, n) in enumerate(cases):
-        s, p = points[2 * i].gflops, points[2 * i + 1].gflops
+        s, p = _gf(points[2 * i]), _gf(points[2 * i + 1])
         rows.append([spec.name, nranks, n, s, p, s / p])
     return ("Fig. 10 — SRUMMA vs pdgemm",
             ["platform", "CPUs", "N", "SRUMMA GF/s", "pdgemm GF/s", "ratio"],
@@ -129,7 +159,8 @@ def _fig10(full: bool, jobs: Optional[int] = 1,
 
 
 def _table1(full: bool, jobs: Optional[int] = 1,
-            cache=None, verbose: bool = False) -> Result:
+            cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     cases = [
         (4000, 4000, 4000, 128, False, False, SGI_ALTIX),
         (2000, 2000, 2000, 128, False, False, CRAY_X1),
@@ -148,10 +179,11 @@ def _table1(full: bool, jobs: Optional[int] = 1,
         [PointSpec(alg, spec, cpus, m, n, k, transa=ta, transb=tb)
          for m, n, k, cpus, ta, tb, spec in cases
          for alg in ("srumma", "pdgemm")],
-        jobs=jobs, cache=cache, verbose=verbose)
+        jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
     rows = []
     for i, (m, n, k, cpus, ta, tb, spec) in enumerate(cases):
-        s, p = points[2 * i].gflops, points[2 * i + 1].gflops
+        s, p = _gf(points[2 * i]), _gf(points[2 * i + 1])
         case = f"C=A{'^T' if ta else ''} B{'^T' if tb else ''}"
         rows.append([f"{m}x{n}x{k}", cpus, case, spec.name, s, p, s / p])
     return ("Table 1 — best cases (GFLOP/s)",
@@ -160,7 +192,8 @@ def _table1(full: bool, jobs: Optional[int] = 1,
 
 
 def _diag_shift(full: bool, jobs: Optional[int] = 1,
-                cache=None, verbose: bool = False) -> Result:
+                cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     from ..core.schedule import ScheduleOptions
 
     sizes = (1000, 2000, 4000) if full else (1000, 2000)
@@ -173,10 +206,11 @@ def _diag_shift(full: bool, jobs: Optional[int] = 1,
                        flavor="cluster",
                        schedule=ScheduleOptions(diagonal_shift=shift)))
          for spec, nranks, n in cases for shift in (True, False)],
-        jobs=jobs, cache=cache, verbose=verbose)
+        jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
     rows = []
     for i, (spec, nranks, n) in enumerate(cases):
-        on, off = points[2 * i].gflops, points[2 * i + 1].gflops
+        on, off = _gf(points[2 * i]), _gf(points[2 * i + 1])
         rows.append([spec.name, nranks, n, on, off, on / off])
     return ("§3.1 ablation — diagonal shift (GFLOP/s)",
             ["platform", "CPUs", "N", "with shift", "without", "speedup"],
@@ -185,6 +219,7 @@ def _diag_shift(full: bool, jobs: Optional[int] = 1,
 
 def _resilience(full: bool, jobs: Optional[int] = 1,
                 cache=None, verbose: bool = False,
+                policy=None, report=None,
                 fault_seed: int = 0, fault_plan=None) -> Result:
     """Degraded-mode completion time under the standard fault plan.
 
@@ -224,13 +259,15 @@ def _resilience(full: bool, jobs: Optional[int] = 1,
         return [PointSpec(alg, spec, nranks, n, options=opts.get(alg),
                           faults=faults) for alg in algs]
 
-    healthy = run_points(specs(), jobs=jobs, cache=cache, verbose=verbose)
+    healthy = _require_complete(
+        run_points(specs(), jobs=jobs, cache=cache, verbose=verbose,
+                   policy=policy, report=report), "resilience")
     horizon = max(p.elapsed for p in healthy)
     plan = (fault_plan if fault_plan is not None
             else standard_degraded_plan(horizon, seed=fault_seed))
     degraded = run_points(specs(plan), jobs=jobs, cache=cache,
-                          verbose=verbose)
-    rows = [[alg, h.elapsed * 1e3, d.elapsed * 1e3, d.elapsed / h.elapsed]
+                          verbose=verbose, policy=policy, report=report)
+    rows = [[alg, h.elapsed * 1e3, _el(d) * 1e3, _el(d) / h.elapsed]
             for alg, h, d in zip(algs, healthy, degraded)]
     return (f"Resilience — degraded-mode completion, N={n}, {nranks} CPUs, "
             f"{spec.name}",
@@ -239,6 +276,7 @@ def _resilience(full: bool, jobs: Optional[int] = 1,
 
 def _crash(full: bool, jobs: Optional[int] = 1,
            cache=None, verbose: bool = False,
+           policy=None, report=None,
            fault_seed: int = 0, fault_plan=None) -> Result:
     """Completion time when a whole node dies mid-run.
 
@@ -278,9 +316,10 @@ def _crash(full: bool, jobs: Optional[int] = 1,
     algs = ("srumma", "summa", "cannon")
     opts = {"srumma": SrummaOptions(dynamic=True)}
 
-    healthy = run_points(
+    healthy = _require_complete(run_points(
         [PointSpec(alg, spec, nranks, n, options=opts.get(alg))
-         for alg in algs], jobs=jobs, cache=cache, verbose=verbose)
+         for alg in algs], jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report), "crash")
     h = {alg: p.elapsed for alg, p in zip(algs, healthy)}
 
     def plan_for(frac: float) -> FaultPlan:
@@ -299,7 +338,8 @@ def _crash(full: bool, jobs: Optional[int] = 1,
     degraded = run_points(
         [PointSpec("srumma", spec, nranks, n, options=opts["srumma"],
                    faults=plan_for(f)) for f in fracs],
-        jobs=jobs, cache=cache, verbose=verbose)
+        jobs=jobs, cache=cache, verbose=verbose,
+        policy=policy, report=report)
 
     bw = spec.network.bandwidth
 
@@ -316,7 +356,7 @@ def _crash(full: bool, jobs: Optional[int] = 1,
     rows = []
     for frac, d in zip(fracs, degraded):
         rows.append(["srumma", f"{int(frac * 100)}%", h["srumma"] * 1e3,
-                     d.elapsed * 1e3, d.elapsed / h["srumma"]])
+                     _el(d) * 1e3, _el(d) / h["srumma"]])
     for alg in ("summa", "cannon"):
         for frac in fracs:
             c = restart_completion(h[alg], frac)
@@ -329,7 +369,8 @@ def _crash(full: bool, jobs: Optional[int] = 1,
 
 
 def _comm_bound(full: bool, jobs: Optional[int] = 1,
-                cache=None, verbose: bool = False) -> Result:
+                cache=None, verbose: bool = False,
+          policy=None, report=None) -> Result:
     """Measured per-rank network volume vs the communication lower bound.
 
     COSMA (arXiv 1908.09606, after Ballard et al.) proves any schedule of
@@ -416,6 +457,7 @@ EXPERIMENTS: dict[str, Callable[..., Result]] = {
 def run_experiment(name: str, full: bool = False,
                    jobs: Optional[int] = 1,
                    cache=None, verbose: bool = False,
+                   policy=None, report=None,
                    fault_seed: int = 0, fault_plan=None) -> Result:
     """Run one registered experiment; see :data:`EXPERIMENTS` for names.
 
@@ -431,6 +473,13 @@ def run_experiment(name: str, full: bool = False,
     faults (``resilience`` and ``crash``); they are forwarded only to
     drivers whose signature declares them, so the fault-free experiments
     stay byte-for-byte on their pre-existing call path.
+
+    ``policy``/``report`` are the harness-resilience knobs
+    (:class:`~repro.bench.parallel.ExecutionPolicy` /
+    :class:`~repro.bench.parallel.SweepReport`): per-point error
+    handling, the durable ``--resume`` journal, chaos injection, and the
+    structured record of skipped points.  ``None``/``None`` (the
+    default) is the exact historical execution path.
     """
     import inspect
 
@@ -439,7 +488,8 @@ def run_experiment(name: str, full: bool = False,
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    kwargs = dict(jobs=jobs, cache=cache, verbose=verbose)
+    kwargs = dict(jobs=jobs, cache=cache, verbose=verbose,
+                  policy=policy, report=report)
     params = inspect.signature(fn).parameters
     if "fault_seed" in params:
         kwargs["fault_seed"] = fault_seed

@@ -1,0 +1,214 @@
+"""Durable sweep journal: every completed point survives the process.
+
+A 1024-rank sweep spends 25-40 s *per point*; losing point k's
+predecessors to a Ctrl-C, an OOM kill, or a worker death is the
+difference between "resume in seconds" and "repeat the afternoon".  The
+journal records each completed :class:`~repro.bench.runner.MatmulPoint`
+durably (append + flush + fsync) the moment it finishes, so an
+interrupted ``repro reproduce``/``sweep --resume`` picks up from the last
+completed point and produces **byte-identical** output to an
+uninterrupted run.
+
+Anatomy
+-------
+One JSONL file per ``run_points`` batch under ``<dir>/journal/``:
+
+- line 0 — a header: journal schema, the *sweep key*, the point count;
+- line 1.. — one record per completed point:
+  ``{"i": index, "key": point_key, "point": encoded MatmulPoint}``.
+
+The **sweep key** is a sha256 over the ordered canonical spec list
+(:func:`repro.bench.cache.canonical_spec` — the same normalisation the
+result cache trusts) plus the cache schema and code fingerprint, and it
+names the file.  Resume is therefore exact by construction: a journal
+can only ever be replayed against the *identical* batch run by the
+*identical* code; any drift (edited source, different sizes, different
+fault plan) silently starts a fresh journal instead of replaying stale
+results.
+
+Point payloads round-trip through the cache's encoder, which is exact
+for every field (tuples tagged, floats via shortest-repr JSON), so a
+resumed point is field-identical to a freshly simulated one.
+
+Crash tolerance: a process dying *mid-append* leaves a truncated final
+line; :meth:`SweepJournal.open` tolerates and drops it (that point
+re-simulates on resume).  A journal that completes is deleted; one that
+does not stays on disk awaiting ``--resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    canonical_spec,
+    code_fingerprint,
+    decode_point,
+    encode_point,
+    point_key,
+)
+from .runner import MatmulPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .parallel import PointSpec
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "SweepJournal", "sweep_key"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def sweep_key(specs: Sequence["PointSpec"]) -> str:
+    """Content address of one ordered batch of points (hex sha256).
+
+    Hashes the ordered canonical spec list, the cache schema, and the
+    code fingerprint: two batches share a journal iff they would simulate
+    the same points in the same order with the same code.
+    """
+    blob = {
+        "journal_schema": JOURNAL_SCHEMA_VERSION,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "code": code_fingerprint()[:16],
+        "specs": [canonical_spec(s) for s in specs],
+    }
+    raw = json.dumps(blob, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(raw).hexdigest()
+
+
+class SweepJournal:
+    """Append-only completion log for one ``run_points`` batch.
+
+    Use :meth:`open`; it loads any surviving records for this exact batch
+    (``resume=True``) or starts clean, then :meth:`record` each completed
+    point and :meth:`finish` when the batch fully resolves.  All disk
+    failures degrade: a journal that cannot be written warns-by-counter
+    and the sweep runs on unjournaled (``io_errors``), never fails.
+    """
+
+    def __init__(self, path: Path, key: str, npoints: int):
+        self.path = path
+        self.key = key
+        self.npoints = npoints
+        self.completed: dict[int, MatmulPoint] = {}
+        self.resumed_points = 0
+        self.io_errors = 0
+        self._point_keys: dict[int, str] = {}
+        self._fh = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def open(cls, directory: os.PathLike, specs: Sequence["PointSpec"],
+             *, resume: bool = True) -> "SweepJournal":
+        """Open (and on ``resume`` replay) the journal for this batch."""
+        key = sweep_key(specs)
+        path = Path(directory).expanduser() / "journal" / f"{key[:32]}.jsonl"
+        journal = cls(path, key, len(specs))
+        if resume:
+            journal._load(specs)
+        journal.resumed_points = len(journal.completed)
+        journal._start()
+        return journal
+
+    def _load(self, specs: Sequence["PointSpec"]) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        lines = raw.split(b"\n")
+        try:
+            header = json.loads(lines[0])
+            if (header.get("journal_schema") != JOURNAL_SCHEMA_VERSION
+                    or header.get("sweep_key") != self.key
+                    or header.get("npoints") != self.npoints):
+                return  # a different batch's journal: start fresh
+        except (ValueError, IndexError):
+            return
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                i = rec["i"]
+                if not (isinstance(i, int) and 0 <= i < self.npoints):
+                    raise ValueError("record index out of range")
+                if rec.get("key") != point_key(specs[i]):
+                    raise ValueError("record key mismatch")
+                self.completed[i] = decode_point(rec["point"])
+                self._point_keys[i] = rec["key"]
+            except (ValueError, KeyError, TypeError):
+                # A truncated or damaged trailing record (the process died
+                # mid-append): drop it — that point just re-simulates.
+                break
+
+    def _start(self) -> None:
+        """(Re)write the journal as header + every known-good record.
+
+        Rewriting on open keeps the file canonical — truncated trailing
+        lines from a crash never accumulate — at the cost of one small
+        sequential write per batch.
+        """
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("w") as fh:
+                fh.write(json.dumps({
+                    "journal_schema": JOURNAL_SCHEMA_VERSION,
+                    "sweep_key": self.key,
+                    "npoints": self.npoints,
+                }, sort_keys=True) + "\n")
+                for i in sorted(self.completed):
+                    fh.write(self._record_line(
+                        i, self._point_keys[i], self.completed[i]))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = self.path.open("a")
+        except OSError:
+            self.io_errors += 1
+            self._fh = None
+
+    @staticmethod
+    def _record_line(index: int, key: str, point: MatmulPoint) -> str:
+        return json.dumps(
+            {"i": index, "key": key, "point": encode_point(point)},
+            sort_keys=True, separators=(",", ":")) + "\n"
+
+    # -- recording ---------------------------------------------------------
+    def record(self, index: int, spec: "PointSpec",
+               point: MatmulPoint) -> None:
+        """Durably append one completed point (no-op if already known)."""
+        if index in self.completed:
+            return
+        self.completed[index] = point
+        self._point_keys[index] = point_key(spec)
+        if self._fh is None:
+            return
+        try:
+            self._fh.write(self._record_line(
+                index, self._point_keys[index], point))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):
+            self.io_errors += 1
+
+    # -- lifecycle ---------------------------------------------------------
+    def finish(self) -> None:
+        """The batch fully resolved: the journal has served its purpose."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Stop journaling but *keep* the file (interrupted / failed runs)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                self.io_errors += 1
+            self._fh = None

@@ -19,12 +19,13 @@ serial-vs-parallel property test.
 Caching: ``run_points`` accepts a
 :class:`~repro.bench.cache.ResultCache`.  Lookups happen in the parent
 *before* pool submission (hits and in-batch duplicates never reach a
-worker), results are written back on merge, and the returned list is in
-submission order with every field identical to an uncached run — the cache
-changes wall-clock, never results.  ``cache=None`` is the exact uncached
-path: no key is ever computed.
+worker), and freshly simulated points are **streamed** back — each
+point's result is merged, written back to the cache, and journaled *the
+moment it finishes*, so a failure at point k can never discard the
+results of the k-1 points that already completed.  ``cache=None`` is the
+exact uncached path: no key is ever computed.
 
-Failure handling:
+Resilience (all opt-in; the defaults are the exact historical behaviour):
 
 - A point that raises inside a worker surfaces as
   :class:`PointExecutionError` carrying the originating spec *and* the
@@ -40,6 +41,17 @@ Failure handling:
 - ``point_timeout`` bounds the wall-clock wait for each point's result;
   exceeding it raises :class:`PointExecutionError` without waiting for the
   stuck worker.  The serial path is unchanged by either mechanism.
+- :class:`ExecutionPolicy` upgrades all of the above from "abort the
+  batch" to a per-point **error policy** (``on_error="raise"|"skip"|
+  "retry"``, bounded retry with exponential wall-clock backoff), a
+  durable :class:`~repro.bench.journal.SweepJournal` (``--resume``), and
+  a seeded :class:`~repro.bench.chaos.ChaosPlan` that injects the very
+  failures these paths exist to absorb.  Skipped/exhausted failures are
+  collected into a structured :class:`SweepReport` instead of aborting.
+- With a disk-backed cache, concurrent *processes* sharing one cache
+  directory coordinate through per-key single-flight lock files: each
+  unique point is simulated by exactly one process and the others
+  coalesce onto its result (see ``ResultCache.try_lock``/``wait_for``).
 """
 
 from __future__ import annotations
@@ -50,16 +62,26 @@ import time
 import traceback
 import warnings
 from copy import deepcopy
-from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Any, Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
 from ..machines.spec import MachineSpec
 from .runner import MatmulPoint, run_matmul
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import ResultCache
+    from .chaos import ChaosPlan
+    from .journal import SweepJournal
 
-__all__ = ["PointSpec", "PointExecutionError", "run_points", "resolve_jobs"]
+__all__ = [
+    "PointSpec",
+    "PointExecutionError",
+    "ExecutionPolicy",
+    "FailedPoint",
+    "SweepReport",
+    "run_points",
+    "resolve_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -114,6 +136,91 @@ class PointExecutionError(RuntimeError):
             f"simulation point failed: {spec.describe()}\n"
             f"--- worker traceback ---\n{remote_traceback}")
 
+    def __reduce__(self):
+        # pickle rebuilds exceptions as ``cls(*self.args)``, but args holds
+        # only the rendered message; a two-argument __init__ would explode
+        # the moment this error crosses a process or service boundary.
+        return (type(self), (self.spec, self.remote_traceback))
+
+
+@dataclass
+class ExecutionPolicy:
+    """How a batch responds to per-point failure and interruption.
+
+    The default instance is behaviour-identical to passing no policy at
+    all: errors abort the batch (after the historical single worker-death
+    retry), nothing is journaled, and no chaos is injected.
+    """
+
+    on_error: str = "raise"
+    """``"raise"``: the first failing point aborts the batch (historical
+    behaviour).  ``"skip"``: the failing point becomes ``None`` in the
+    result list and is collected into the :class:`SweepReport`.
+    ``"retry"``: re-execute the point up to :attr:`retries` times with
+    exponential backoff, then collect it like ``"skip"``."""
+    retries: int = 2
+    """Bounded re-executions per point under ``on_error="retry"``."""
+    retry_backoff: float = 0.05
+    """Base wall-clock backoff in seconds; doubles per attempt (capped)."""
+    point_timeout: Optional[float] = None
+    """Per-point result-collection bound; see :func:`run_points`."""
+    journal_dir: Optional[os.PathLike] = None
+    """Enable the durable sweep journal under this directory: completed
+    points are recorded as they finish and replayed on the next run of
+    the identical batch (the CLI's ``--resume``)."""
+    chaos: Optional["ChaosPlan"] = None
+    """Deterministic harness-fault injection (tests / chaos drills)."""
+
+    def __post_init__(self):
+        if self.on_error not in ("raise", "skip", "retry"):
+            raise ValueError(
+                f"on_error must be 'raise', 'skip' or 'retry', "
+                f"got {self.on_error!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}")
+
+
+@dataclass
+class FailedPoint:
+    """One spec that failed permanently under a skip/retry policy."""
+
+    index: int
+    spec: PointSpec
+    error: str
+    attempts: int = 1
+
+
+@dataclass
+class SweepReport:
+    """Structured outcome of one or more ``run_points`` batches.
+
+    Pass one instance through several batches (the CLI threads one
+    through every experiment of a ``reproduce`` invocation) and it
+    accumulates; ``failed`` holds every spec that was skipped or
+    exhausted its retries instead of aborting the sweep.
+    """
+
+    total: int = 0
+    executed: int = 0
+    from_cache: int = 0
+    from_journal: int = 0
+    deduped: int = 0
+    coalesced: int = 0
+    failed: list[FailedPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        return (f"points={self.total} executed={self.executed} "
+                f"cache={self.from_cache} journal={self.from_journal} "
+                f"dedup={self.deduped} coalesced={self.coalesced} "
+                f"failed={len(self.failed)}")
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value: ``None``/``0`` means all CPU cores."""
@@ -124,34 +231,24 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _run_point_payload(spec: PointSpec):
+def _run_point_payload(spec: PointSpec, chaos: Optional["ChaosPlan"] = None,
+                       index: int = 0, attempt: int = 0):
     """Worker entry: run one spec, shipping failures back as data.
 
     Exceptions are converted to ``("err", spec, traceback_text)`` tuples in
     the worker so the parent can re-raise with the *remote* traceback; a
     pickled exception alone arrives stripped of it.  Successes carry the
-    worker-side wall seconds for ``--verbose`` progress lines.
+    worker-side wall seconds for ``--verbose`` progress lines.  A chaos
+    plan may kill this worker outright (``os._exit``) before the spec
+    runs — the parent then sees a real ``BrokenProcessPool``.
     """
+    if chaos is not None:
+        chaos.maybe_kill_worker(index, attempt)
     t0 = time.perf_counter()
     try:
         return ("ok", spec.run(), time.perf_counter() - t0)
     except Exception:  # noqa: BLE001 - shipped to the parent
         return ("err", spec, traceback.format_exc())
-
-
-def _unwrap(payload) -> tuple[MatmulPoint, float]:
-    if payload[0] == "err":
-        _, spec, tb = payload
-        raise PointExecutionError(spec, tb)
-    return payload[1], payload[2]
-
-
-def _run_serial(specs: Sequence[PointSpec]) -> list[tuple[MatmulPoint, float]]:
-    out = []
-    for spec in specs:
-        t0 = time.perf_counter()
-        out.append((spec.run(), time.perf_counter() - t0))
-    return out
 
 
 def _make_pool(max_workers: int):
@@ -170,28 +267,81 @@ def _make_pool(max_workers: int):
     return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
 
 
-def _execute(specs: Sequence[PointSpec], njobs: int,
-             point_timeout: Optional[float] = None,
-             ) -> list[tuple[MatmulPoint, float]]:
-    """Run every spec (pool or serial); returns ``(point, wall_s)`` pairs.
+def _backoff_sleep(policy: ExecutionPolicy, attempt: int) -> None:
+    if policy.retry_backoff > 0:
+        time.sleep(min(policy.retry_backoff * (2 ** max(attempt - 1, 0)),
+                       5.0))
+
+
+def _serial_stream(specs: Sequence[PointSpec], start: int,
+                   policy: ExecutionPolicy,
+                   ) -> Iterator[tuple[int, str, Any, float]]:
+    """In-process execution of ``specs[start:]``; yields as each finishes.
+
+    Under the default ``on_error="raise"`` this is byte-for-byte the old
+    serial path: ``spec.run()`` with no wrapper, original exceptions
+    propagating untouched.
+    """
+    for offset in range(start, len(specs)):
+        spec = specs[offset]
+        if policy.on_error == "raise":
+            t0 = time.perf_counter()
+            yield offset, "ok", spec.run(), time.perf_counter() - t0
+            continue
+        attempt = 0
+        while True:
+            try:
+                t0 = time.perf_counter()
+                point = spec.run()
+                wall = time.perf_counter() - t0
+            except Exception:  # noqa: BLE001 - collected per policy
+                attempt += 1
+                err = PointExecutionError(spec, traceback.format_exc())
+                if policy.on_error == "retry" and attempt <= policy.retries:
+                    _backoff_sleep(policy, attempt)
+                    continue
+                yield offset, "failed", (err, attempt), 0.0
+                break
+            else:
+                yield offset, "ok", point, wall
+                break
+
+
+def _execute_stream(specs: Sequence[PointSpec], indices: Sequence[int],
+                    njobs: int, point_timeout: Optional[float],
+                    policy: ExecutionPolicy,
+                    ) -> Iterator[tuple[int, str, Any, float]]:
+    """Run every spec; yield ``(i, "ok", point, wall_s)`` or
+    ``(i, "failed", (error, attempts), 0.0)`` in submission order, *as
+    each point resolves* — the caller merges, caches and journals one
+    point at a time, so nothing already computed can be lost to a later
+    failure.
 
     Pool hardening: results are collected in submission order with
-    ``point_timeout`` bounding each wait; a worker death
-    (``BrokenProcessPool``) tears the pool down and retries the affected
-    point (and everything after it) once in a fresh pool.  Every error
-    path shuts the pool down with ``wait=False`` — blocking on a hung or
-    dead worker is exactly what the timeout exists to avoid.
+    ``point_timeout`` bounding each wait.  A worker death
+    (``BrokenProcessPool``) or a timed-out point tears the pool down and
+    execution continues in a fresh pool — retrying or skipping the
+    affected point per ``policy``; under the default ``on_error="raise"``
+    a death is retried exactly once and a timeout raises immediately
+    (the historical behaviour).  Every error path shuts the pool down
+    with ``wait=False`` — blocking on a hung or dead worker is exactly
+    what the timeout exists to avoid.  ``failed`` events are emitted only
+    under ``skip``/``retry`` policies.
     """
     if njobs <= 1 or len(specs) <= 1:
-        return _run_serial(specs)
+        yield from _serial_stream(specs, 0, policy)
+        return
 
     from concurrent.futures import TimeoutError as FuturesTimeout
     from concurrent.futures.process import BrokenProcessPool
 
-    results: list[tuple[MatmulPoint, float]] = []
-    retried: set[int] = set()
-    while len(results) < len(specs):
-        start = len(results)
+    chaos = policy.chaos
+    chaos_kills = chaos is not None and chaos.worker_kill_prob > 0
+    done = 0
+    blames = [0] * len(specs)   # errors attributed to each point
+    submits = [0] * len(specs)  # times each point was handed to a worker
+    while done < len(specs):
+        start = done
         try:
             pool = _make_pool(min(njobs, len(specs) - start))
         except (OSError, PermissionError, ValueError, ImportError,
@@ -200,37 +350,83 @@ def _execute(specs: Sequence[PointSpec], njobs: int,
                 f"worker processes unavailable ({exc!r}); running "
                 f"{len(specs) - start} points serially",
                 RuntimeWarning, stacklevel=3)
-            results.extend(_run_serial(specs[start:]))
-            return results
-        futures = [pool.submit(_run_point_payload, spec)
-                   for spec in specs[start:]]
+            yield from _serial_stream(specs, start, policy)
+            return
+        futures = []
+        for offset, spec in enumerate(specs[start:]):
+            i = start + offset
+            if chaos_kills:
+                futures.append(pool.submit(_run_point_payload, spec, chaos,
+                                           indices[i], submits[i]))
+            else:
+                futures.append(pool.submit(_run_point_payload, spec))
+            submits[i] += 1
         try:
             for offset, fut in enumerate(futures):
                 i = start + offset
                 try:
                     payload = fut.result(timeout=point_timeout)
                 except FuturesTimeout:
-                    raise PointExecutionError(
+                    blames[i] += 1
+                    err = PointExecutionError(
                         specs[i],
                         f"no result within the per-point timeout of "
-                        f"{point_timeout:g}s (worker abandoned, not joined)",
-                    ) from None
+                        f"{point_timeout:g}s (worker abandoned, not joined)")
+                    if policy.on_error == "raise":
+                        raise err from None
+                    if (policy.on_error == "retry"
+                            and blames[i] <= policy.retries):
+                        _backoff_sleep(policy, blames[i])
+                        done = i
+                    else:
+                        yield i, "failed", (err, blames[i]), 0.0
+                        done = i + 1
+                    break  # the pool has a stuck worker: rebuild it
                 except BrokenProcessPool as exc:
-                    if i in retried:
-                        raise PointExecutionError(
+                    blames[i] += 1
+                    if policy.on_error == "raise":
+                        if blames[i] > 1:
+                            raise PointExecutionError(
+                                specs[i],
+                                f"worker process died twice running this "
+                                f"point ({exc!r})") from exc
+                        warnings.warn(
+                            f"worker pool broke at point {i + 1}/"
+                            f"{len(specs)} ({specs[i].describe()}); "
+                            f"retrying once in a fresh pool",
+                            RuntimeWarning, stacklevel=4)
+                        done = i
+                    elif (policy.on_error == "retry"
+                          and blames[i] <= policy.retries):
+                        _backoff_sleep(policy, blames[i])
+                        done = i
+                    else:
+                        err = PointExecutionError(
                             specs[i],
-                            f"worker process died twice running this point "
-                            f"({exc!r})") from exc
-                    retried.add(i)
-                    warnings.warn(
-                        f"worker pool broke at point {i + 1}/{len(specs)} "
-                        f"({specs[i].describe()}); retrying once in a "
-                        f"fresh pool", RuntimeWarning, stacklevel=4)
-                    break  # outer loop resubmits from point i in a new pool
-                results.append(_unwrap(payload))
+                            f"worker process died running this point "
+                            f"({exc!r})")
+                        yield i, "failed", (err, blames[i]), 0.0
+                        done = i + 1
+                    break  # the pool is gone either way: rebuild it
+                else:
+                    if payload[0] == "err":
+                        _, bad_spec, tb = payload
+                        err = PointExecutionError(bad_spec, tb)
+                        if policy.on_error == "raise":
+                            raise err
+                        blames[i] += 1
+                        if (policy.on_error == "retry"
+                                and blames[i] <= policy.retries):
+                            _backoff_sleep(policy, blames[i])
+                            done = i
+                        else:
+                            yield i, "failed", (err, blames[i]), 0.0
+                            done = i + 1
+                        break  # resubmit the remainder in a fresh pool
+                    yield i, "ok", payload[1], payload[2]
+                    done = i + 1
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
-    return results
 
 
 def _emit(index: int, total: int, spec: PointSpec, status: str,
@@ -239,10 +435,15 @@ def _emit(index: int, total: int, spec: PointSpec, status: str,
           f"{wall_s:.3f}s ({status})", file=sys.stderr, flush=True)
 
 
+_DEFAULT_POLICY = ExecutionPolicy()
+
+
 def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
                cache: Optional["ResultCache"] = None,
                verbose: bool = False,
-               point_timeout: Optional[float] = None) -> list[MatmulPoint]:
+               point_timeout: Optional[float] = None,
+               policy: Optional[ExecutionPolicy] = None,
+               report: Optional[SweepReport] = None) -> list[MatmulPoint]:
     """Run independent simulation points, possibly across worker processes.
 
     Parameters
@@ -256,67 +457,201 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
         Optional :class:`~repro.bench.cache.ResultCache`.  Each spec is
         looked up *before* pool submission; hits and duplicate specs in the
         same batch never reach a worker, and freshly simulated points are
-        written back on merge.  ``None`` (the default) is the exact
-        uncached execution path — no key is ever computed.
+        written back **as each one finishes**.  With a disk tier, per-key
+        single-flight locks coordinate concurrent processes sharing the
+        cache directory: one process simulates each unique point, the
+        others wait and coalesce onto its entry.  ``None`` (the default)
+        is the exact uncached execution path — no key is ever computed.
     verbose:
         Emit one progress line per point to stderr (index, point label,
-        wall seconds, hit/miss/dedup status).
+        wall seconds, hit/miss/dedup/journal/coalesced status).
     point_timeout:
         Optional wall-clock bound (seconds) on collecting each point's
         result from the pool; exceeding it raises
-        :class:`PointExecutionError` for that point.  Ignored on the
-        serial path (``jobs=1``), which stays exactly the old behaviour.
+        :class:`PointExecutionError` for that point (or retries/skips it
+        per ``policy``).  Ignored on the serial path (``jobs=1``), which
+        stays exactly the old behaviour.  Overrides
+        ``policy.point_timeout`` when both are given.
+    policy:
+        Optional :class:`ExecutionPolicy`: per-point error handling
+        (``on_error``), bounded retry with backoff, the durable sweep
+        journal (``journal_dir``; an interrupted batch resumes from its
+        last completed point), and deterministic chaos injection.  The
+        default is behaviour-identical to passing ``None``.
+    report:
+        Optional :class:`SweepReport` accumulating totals and permanent
+        failures across batches.  Under ``on_error="skip"``/``"retry"``
+        a permanently failed point returns as ``None`` in the result list
+        and is described here.
 
     Returns the :class:`MatmulPoint` list in submission order.  Results are
-    bit-identical for every ``jobs`` value and for cached vs uncached
-    execution: each point's simulation is seeded and self-contained, so
-    neither process placement nor result provenance can affect it.
+    bit-identical for every ``jobs`` value, for cached vs uncached
+    execution, and for interrupted-then-resumed vs uninterrupted runs:
+    each point's simulation is seeded and self-contained, so neither
+    process placement nor result provenance can affect it.
 
     Raises :class:`PointExecutionError` for the earliest (in submission
-    order) failing point.  If worker processes cannot be created, falls
-    back to serial execution with a :class:`RuntimeWarning`; if a worker
-    *dies* mid-run, the affected point is retried once in a fresh pool
-    before the error is raised.
+    order) failing point under ``on_error="raise"``.  If worker processes
+    cannot be created, falls back to serial execution with a
+    :class:`RuntimeWarning`; if a worker *dies* mid-run, the affected
+    point is retried once in a fresh pool before the error is raised.
     """
     specs = list(specs)
     njobs = resolve_jobs(jobs)
     total = len(specs)
+    pol = policy if policy is not None else _DEFAULT_POLICY
+    if point_timeout is None:
+        point_timeout = pol.point_timeout
+    rep = report if report is not None else SweepReport()
+    rep.total += total
+    chaos = pol.chaos
 
-    if cache is None:
-        executed = _execute(specs, njobs, point_timeout)
-        if verbose:
-            for i, (point, wall_s) in enumerate(executed):
-                _emit(i, total, specs[i], "run", wall_s)
-        return [point for point, _ in executed]
+    journal: Optional["SweepJournal"] = None
+    if pol.journal_dir is not None and total:
+        from .journal import SweepJournal
+
+        journal = SweepJournal.open(pol.journal_dir, specs)
 
     results: list[Optional[MatmulPoint]] = [None] * total
-    pending: list[int] = []        # indices that must actually simulate
-    dup_of: dict[int, int] = {}    # duplicate index -> first index, same key
-    first_of_key: dict[str, int] = {}
-    for i, spec in enumerate(specs):
-        key = cache.key(spec)
-        hit = cache.get(spec, key=key, count_miss=False)
-        if hit is not None:
-            results[i] = hit
-            if verbose:
-                _emit(i, total, spec, "hit", 0.0)
-        elif key in first_of_key:
-            dup_of[i] = first_of_key[key]
-            cache.note_dedup()
-        else:
-            first_of_key[key] = i
-            cache.note_miss()
-            pending.append(i)
+    held: dict[int, str] = {}       # point index -> single-flight lock key
+    executed = 0                    # points actually simulated this run
+    clean_exit = False
 
-    for i, (point, wall_s) in zip(pending,
-                                  _execute([specs[i] for i in pending], njobs,
-                                           point_timeout)):
+    def _note_executed() -> None:
+        nonlocal executed
+        executed += 1
+        if chaos is not None and chaos.kill_after is not None \
+                and executed >= chaos.kill_after:
+            from .chaos import ChaosInterrupt
+
+            raise ChaosInterrupt(
+                f"chaos: harness killed after {executed} executed points")
+
+    def _complete(i: int, point: MatmulPoint, wall_s: float,
+                  status: str) -> None:
+        """One point resolved: merge, write back, journal, then count it."""
         results[i] = point
-        cache.put(specs[i], point)
+        if status in ("run", "miss") and cache is not None:
+            cache.put(specs[i], point, key=held.get(i))
+        if i in held:
+            cache.release(held.pop(i))
+        if journal is not None:
+            journal.record(i, specs[i], point)
         if verbose:
-            _emit(i, total, specs[i], "miss", wall_s)
-    for i, j in sorted(dup_of.items()):
-        results[i] = deepcopy(results[j])
+            _emit(i, total, specs[i], status, wall_s)
+        if status in ("run", "miss"):
+            rep.executed += 1
+            _note_executed()
+
+    def _fail(i: int, err: PointExecutionError, attempts: int) -> None:
+        results[i] = None
+        if i in held:
+            cache.release(held.pop(i))
+        rep.failed.append(FailedPoint(index=i, spec=specs[i],
+                                      error=str(err), attempts=attempts))
         if verbose:
-            _emit(i, total, specs[i], "dedup", 0.0)
+            _emit(i, total, specs[i], "failed", 0.0)
+
+    try:
+        if journal is not None:
+            for i in sorted(journal.completed):
+                if results[i] is None:
+                    results[i] = journal.completed[i]
+                    rep.from_journal += 1
+                    if verbose:
+                        _emit(i, total, specs[i], "journal", 0.0)
+
+        pending: list[int] = []        # indices this process will simulate
+        waiters: list[tuple[int, str]] = []  # in flight in another process
+        dup_of: dict[int, int] = {}    # duplicate index -> first index
+        first_of_key: dict[str, int] = {}
+        if cache is None:
+            pending = [i for i in range(total) if results[i] is None]
+        else:
+            for i, spec in enumerate(specs):
+                if results[i] is not None:
+                    continue
+                key = cache.key(spec)
+                hit = cache.get(spec, key=key, count_miss=False)
+                if hit is not None:
+                    results[i] = hit
+                    rep.from_cache += 1
+                    if journal is not None:
+                        journal.record(i, spec, hit)
+                    if verbose:
+                        _emit(i, total, spec, "hit", 0.0)
+                elif key in first_of_key:
+                    dup_of[i] = first_of_key[key]
+                    cache.note_dedup()
+                    rep.deduped += 1
+                elif cache.try_lock(key):
+                    first_of_key[key] = i
+                    held[i] = key
+                    cache.note_miss()
+                    pending.append(i)
+                else:
+                    first_of_key[key] = i
+                    waiters.append((i, key))
+
+        status = "run" if cache is None else "miss"
+        for sub_i, kind, payload, wall_s in _execute_stream(
+                [specs[i] for i in pending], pending, njobs,
+                point_timeout, pol):
+            i = pending[sub_i]
+            if kind == "ok":
+                _complete(i, payload, wall_s, status)
+            else:
+                err, attempts = payload
+                _fail(i, err, attempts)
+
+        # Points another process was already simulating: wait for its
+        # entry (coalesce) or, if its lock went stale or the wait timed
+        # out, take the point over ourselves.
+        takeover: list[int] = []
+        for i, key in waiters:
+            point = cache.wait_for(key)
+            if point is not None:
+                results[i] = point
+                rep.coalesced += 1
+                if journal is not None:
+                    journal.record(i, specs[i], point)
+                if verbose:
+                    _emit(i, total, specs[i], "coalesced", 0.0)
+            else:
+                if cache.try_lock(key):
+                    held[i] = key
+                cache.note_miss()
+                takeover.append(i)
+        for sub_i, kind, payload, wall_s in _execute_stream(
+                [specs[i] for i in takeover], takeover, njobs,
+                point_timeout, pol):
+            i = takeover[sub_i]
+            if kind == "ok":
+                _complete(i, payload, wall_s, "miss")
+            else:
+                err, attempts = payload
+                _fail(i, err, attempts)
+
+        for i, j in sorted(dup_of.items()):
+            if results[j] is None:
+                _fail(i, PointExecutionError(
+                    specs[i],
+                    f"duplicate of point {j + 1}/{total}, which failed"), 0)
+                continue
+            results[i] = deepcopy(results[j])
+            if journal is not None:
+                journal.record(i, specs[i], results[i])
+            if verbose:
+                _emit(i, total, specs[i], "dedup", 0.0)
+        clean_exit = all(r is not None for r in results)
+    finally:
+        if cache is not None:
+            for key in held.values():
+                cache.release(key)
+        if journal is not None:
+            if clean_exit:
+                journal.finish()
+            else:
+                journal.close()
+
     return results

@@ -128,7 +128,7 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
 
 def sweep(algorithms: Sequence[str], spec: MachineSpec,
           sizes: Iterable[int], nranks: int, jobs: Optional[int] = 1,
-          cache=None, verbose: bool = False,
+          cache=None, verbose: bool = False, policy=None, report=None,
           **kwargs: Any) -> list[MatmulPoint]:
     """Cross product of algorithms x square sizes at one rank count.
 
@@ -136,14 +136,19 @@ def sweep(algorithms: Sequence[str], spec: MachineSpec,
     CPU cores); the default ``1`` keeps the in-process serial path.
     ``cache`` is an optional :class:`~repro.bench.cache.ResultCache`:
     already-simulated points are served from it and fresh ones written
-    back (``None`` = the exact uncached path).  The result order —
-    size-major, algorithm-minor — and every field of every point are
-    identical for any ``jobs`` value and for cached vs uncached execution
-    (each point's simulation is seeded and self-contained).
+    back (``None`` = the exact uncached path).  ``policy`` is an optional
+    :class:`~repro.bench.parallel.ExecutionPolicy` (per-point error
+    handling, the durable resume journal, chaos injection) and ``report``
+    an optional :class:`~repro.bench.parallel.SweepReport` accumulating
+    outcomes.  The result order — size-major, algorithm-minor — and every
+    field of every point are identical for any ``jobs`` value and for
+    cached vs uncached execution (each point's simulation is seeded and
+    self-contained).
     """
     from .parallel import PointSpec, run_points
 
     specs = [PointSpec(algorithm=alg, machine=spec, nranks=nranks, m=size,
                        **kwargs)
              for size in sizes for alg in algorithms]
-    return run_points(specs, jobs=jobs, cache=cache, verbose=verbose)
+    return run_points(specs, jobs=jobs, cache=cache, verbose=verbose,
+                      policy=policy, report=report)

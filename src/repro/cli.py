@@ -22,6 +22,15 @@ content-addressed result cache (default ``~/.cache/repro-srumma``,
 points are simulated once; ``--no-cache`` runs the exact uncached path.
 Results are identical either way; a hit/miss summary goes to stderr.
 
+Both commands are also crash-safe and policy-driven: ``--resume``
+journals each completed point durably so an interrupted run picks up
+from its last completed point (byte-identical output), ``--on-error
+skip|retry`` survives individual point failures (collected in a
+``[sweep]`` stderr summary, exit status 1), ``--point-timeout`` bounds
+each point, ``--cache-max-bytes`` bounds the disk tier with LRU
+eviction, and ``--chaos`` injects seeded harness faults (worker kills,
+cache I/O errors, corruption) for reproducible resilience drills.
+
 Examples::
 
     python -m repro run --platform linux-myrinet --nranks 16 --size 512
@@ -83,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"comma-separated subset of {ALGORITHMS}")
     _jobs(p_sweep)
     _cache_flags(p_sweep)
+    _resilience_flags(p_sweep)
 
     p_bw = sub.add_parser("bandwidth", help="protocol bandwidth microbench")
     _common(p_bw, nranks=False)
@@ -114,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "degraded plan (see repro.sim.faults)")
     _jobs(p_rep)
     _cache_flags(p_rep)
+    _resilience_flags(p_rep)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the simulation result cache")
@@ -165,23 +176,89 @@ def _cache_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR or "
                         "~/.cache/repro-srumma)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="bound the disk tier: least-recently-used entries "
+                        "are evicted past this size (default: unbounded)")
     p.add_argument("--verbose", action="store_true",
                    help="print one progress line per simulation point "
                         "(label, wall seconds, cache hit/miss) to stderr")
 
 
-def _make_cache(args):
+def _resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--resume", action="store_true",
+                   help="journal each completed point durably and resume an "
+                        "interrupted identical run from its last completed "
+                        "point (output is byte-identical to an "
+                        "uninterrupted run)")
+    p.add_argument("--on-error", default="raise",
+                   choices=("raise", "skip", "retry"),
+                   help="per-point error policy: abort the sweep (default), "
+                        "skip failed points (reported, shown as nan), or "
+                        "retry them with bounded backoff")
+    p.add_argument("--retries", type=int, default=2,
+                   help="bounded re-executions per point under "
+                        "--on-error retry (default: 2)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock bound per point when running with "
+                        "worker processes (handled per --on-error)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic harness-fault injection: inline JSON "
+                        "ChaosPlan, or @FILE / a path to one (e.g. "
+                        "'{\"seed\":7,\"worker_kill_prob\":0.2}')")
+
+
+def _make_chaos(args):
+    if getattr(args, "chaos", None) is None:
+        return None
+    from .bench.chaos import ChaosPlan
+
+    return ChaosPlan.parse(args.chaos)
+
+
+def _make_cache(args, chaos=None):
     """Build the ResultCache for a sweep/reproduce invocation (or None)."""
     if not args.cache:
         return None
     from .bench.cache import ResultCache
 
-    return ResultCache(directory=args.cache_dir)
+    return ResultCache(directory=args.cache_dir,
+                       max_bytes=args.cache_max_bytes, chaos=chaos)
+
+
+def _make_policy(args, chaos):
+    """Build the ExecutionPolicy (or None: the exact legacy path)."""
+    resume = getattr(args, "resume", False)
+    if (not resume and args.on_error == "raise"
+            and args.point_timeout is None and chaos is None):
+        return None
+    from .bench.cache import default_cache_dir
+    from .bench.parallel import ExecutionPolicy
+
+    journal_dir = None
+    if resume:
+        journal_dir = args.cache_dir or default_cache_dir()
+    return ExecutionPolicy(on_error=args.on_error, retries=args.retries,
+                           point_timeout=args.point_timeout,
+                           journal_dir=journal_dir, chaos=chaos)
 
 
 def _report_cache(cache) -> None:
     if cache is not None:
         print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+
+
+def _report_sweep(report) -> int:
+    """Print the sweep outcome; exit status 1 if any point failed."""
+    interesting = (report.failed or report.from_journal or report.deduped
+                   or report.coalesced)
+    if interesting:
+        print(f"[sweep] {report.summary()}", file=sys.stderr)
+    for fp in report.failed:
+        print(f"[sweep] failed: {fp.spec.describe()} after {fp.attempts} "
+              f"attempt(s): {fp.error}", file=sys.stderr)
+    return 1 if report.failed else 0
 
 
 def _cmd_platforms() -> int:
@@ -242,18 +319,24 @@ def _cmd_sweep(args) -> int:
         if alg not in ALGORITHMS:
             print(f"error: unknown algorithm {alg!r}", file=sys.stderr)
             return 2
-    cache = _make_cache(args)
+    chaos = _make_chaos(args)
+    cache = _make_cache(args, chaos=chaos)
+    from .bench.parallel import SweepReport
+
+    report = SweepReport()
     points = sweep(algorithms, spec, sizes, args.nranks, jobs=args.jobs,
-                   cache=cache, verbose=args.verbose)
+                   cache=cache, verbose=args.verbose,
+                   policy=_make_policy(args, chaos), report=report)
     rows = []
     for i, size in enumerate(sizes):
         block = points[i * len(algorithms):(i + 1) * len(algorithms)]
-        rows.append([size, *(p.gflops for p in block)])
+        rows.append([size, *((p.gflops if p is not None else float("nan"))
+                             for p in block)])
     print(format_table(
         ["N", *(f"{a} GF/s" for a in algorithms)], rows,
         title=f"{spec.name}, {args.nranks} CPUs (synthetic payload)"))
     _report_cache(cache)
-    return 0
+    return _report_sweep(report)
 
 
 def _cmd_bandwidth(args) -> int:
@@ -281,12 +364,18 @@ def _cmd_reproduce(args) -> int:
     if args.fault_plan is not None:
         from .sim.faults import FaultPlan
         fault_plan = FaultPlan.load(args.fault_plan)
-    cache = _make_cache(args)
+    from .bench.parallel import SweepReport
+
+    chaos = _make_chaos(args)
+    cache = _make_cache(args, chaos=chaos)
+    policy = _make_policy(args, chaos)
+    report = SweepReport()
     scale = "full" if args.full else "quick"
     for name in args.experiment:
         title, headers, rows = run_experiment(name, full=args.full,
                                               jobs=args.jobs, cache=cache,
                                               verbose=args.verbose,
+                                              policy=policy, report=report,
                                               fault_seed=args.fault_seed,
                                               fault_plan=fault_plan)
         print(format_table(headers, rows, title=f"{title} [{scale} scale]"))
@@ -294,7 +383,7 @@ def _cmd_reproduce(args) -> int:
         print("(quick scale; run with --full, or `pytest benchmarks/`, "
               "for the complete shape-asserted sweep)")
     _report_cache(cache)
-    return 0
+    return _report_sweep(report)
 
 
 def _cmd_cache(args) -> int:
@@ -308,6 +397,9 @@ def _cmd_cache(args) -> int:
     info = cache.disk_stats()
     print(f"cache directory : {info['directory']}")
     print(f"entries         : {info['entries']} ({fmt_bytes(info['bytes'])})")
+    bound = (fmt_bytes(info["max_bytes"]) if info.get("max_bytes")
+             else "unbounded")
+    print(f"size bound      : {bound}")
     print(f"namespace       : {info['namespace']} (schema + code fingerprint)")
     if info["namespaces"]:
         for name, ns in info["namespaces"].items():
@@ -316,6 +408,10 @@ def _cmd_cache(args) -> int:
                   f"{fmt_bytes(ns['bytes'])}{mark}")
     else:
         print("  (empty)")
+    print(f"locks           : {info['locks_live']} live, "
+          f"{info['locks_stale']} stale")
+    print(f"journals        : {info['journals']} interrupted sweep(s) "
+          f"awaiting --resume")
     return 0
 
 
@@ -339,4 +435,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        from .bench.chaos import ChaosInterrupt
+
+        if isinstance(exc, ChaosInterrupt):
+            print(f"error: {exc} (rerun with --resume to pick up from the "
+                  "last journaled point)", file=sys.stderr)
+            return 3
+        raise
     raise AssertionError(f"unhandled command {args.command!r}")

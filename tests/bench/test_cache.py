@@ -277,8 +277,10 @@ def test_disk_write_errors_are_counted_not_raised(tmp_path, monkeypatch):
     monkeypatch.setattr(os, "replace",
                         lambda *a, **k: (_ for _ in ()).throw(OSError("disk")))
     spec = PointSpec("srumma", LINUX_MYRINET, 4, 24)
-    cache.put(spec, spec.run())
+    with pytest.warns(RuntimeWarning, match="result cache degraded"):
+        cache.put(spec, spec.run())
     assert cache.stats.write_errors == 1
+    assert cache.stats.io_errors == 1
     assert cache.get(spec) is not None  # memory tier still has it
 
 

@@ -1,0 +1,265 @@
+"""Tests for the concurrency-hardened result cache.
+
+Three properties under test: the disk tier stays *bounded* (LRU
+eviction), stays *coordinated* (single-flight locks with stale-lock
+reaping), and stays *optional* (every I/O failure mode degrades to
+uncached execution — a cache must never fail a sweep).
+"""
+
+import dataclasses
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.parallel import ExecutionPolicy, PointSpec, SweepReport, run_points
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+SPECS = [
+    PointSpec("srumma", LINUX_MYRINET, 4, 24),
+    PointSpec("pdgemm", LINUX_MYRINET, 4, 24),
+    PointSpec("srumma", SGI_ALTIX, 8, 32),
+    PointSpec("summa", LINUX_MYRINET, 4, 16),
+]
+
+
+def _fields(points):
+    return [dataclasses.asdict(p) for p in points]
+
+
+def _entry_files(cache):
+    return sorted(p for p in cache.namespace_dir.rglob("*.json"))
+
+
+# -- disk-tier size bound ---------------------------------------------------
+
+def test_lru_eviction_respects_max_bytes(tmp_path):
+    probe = ResultCache(directory=tmp_path)
+    run_points(SPECS[:1], cache=probe)
+    entry_size = probe.disk_stats()["bytes"]
+    probe.clear()
+
+    cache = ResultCache(directory=tmp_path, max_bytes=2 * entry_size + 64)
+    run_points(SPECS, cache=cache)
+    assert cache.stats.evictions >= 2
+    assert cache.disk_stats()["bytes"] <= 2 * entry_size + 64
+
+
+def test_eviction_is_lru_and_reads_refresh_recency(tmp_path):
+    probe = ResultCache(directory=tmp_path)
+    points = run_points(SPECS[:3], cache=probe)
+    entry_size = probe.disk_stats()["bytes"] // 3
+    keys = [probe.key(s) for s in SPECS[:3]]
+    paths = [probe._entry_path(k) for k in keys]
+    # Age the mtimes oldest-first, then touch key 0 by reading it.
+    now = time.time()
+    for i, p in enumerate(paths):
+        os.utime(p, (now - 100 + i, now - 100 + i))
+    probe._memory.clear()
+    assert probe.get(SPECS[0]) is not None  # disk read refreshes mtime
+
+    cache = ResultCache(directory=tmp_path, max_bytes=2 * entry_size + 64)
+    cache.put(SPECS[3], run_points(SPECS[3:4])[0])
+    remaining = {p.name for p in _entry_files(cache)}
+    assert f"{keys[0]}.json" in remaining          # recently read: kept
+    assert f"{keys[1]}.json" not in remaining      # oldest untouched: gone
+
+
+def test_tiny_bound_still_caches_the_current_point(tmp_path):
+    cache = ResultCache(directory=tmp_path, max_bytes=1)
+    run_points(SPECS[:2], cache=cache)
+    # Each write evicts the predecessor but the just-written entry stays.
+    assert len(_entry_files(cache)) == 1
+
+
+# -- graceful degradation ---------------------------------------------------
+
+def test_disk_tier_disables_after_consecutive_failures(tmp_path, monkeypatch):
+    cache = ResultCache(directory=tmp_path, disable_after_io_errors=3)
+    point = run_points(SPECS[:1])[0]
+    monkeypatch.setattr(os, "replace",
+                        lambda *a, **k: (_ for _ in ()).throw(OSError(28, "ENOSPC")))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for spec in SPECS:
+            cache.put(spec, point)
+    assert cache.stats.io_errors >= 3
+    assert not cache._disk_ok()
+    # Disabled tier: further operations are memory-only, no exceptions.
+    cache.put(SPECS[0], point)
+    assert cache.get(SPECS[0]) is not None
+
+
+def test_eacces_on_put_never_fails_the_sweep(tmp_path, monkeypatch):
+    cache = ResultCache(directory=tmp_path)
+    real_replace = os.replace
+
+    def deny(src, dst, *a, **k):
+        raise PermissionError(13, "EACCES", str(dst))
+
+    monkeypatch.setattr(os, "replace", deny)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(SPECS, cache=cache)
+    monkeypatch.setattr(os, "replace", real_replace)
+    assert _fields(points) == _fields(run_points(SPECS))
+    assert cache.stats.io_errors == len(SPECS)
+    assert cache.stats.writes == 0
+
+
+def test_io_recovery_resets_the_disable_streak(tmp_path, monkeypatch):
+    cache = ResultCache(directory=tmp_path, disable_after_io_errors=3)
+    point = run_points(SPECS[:1])[0]
+    real_replace = os.replace
+    fail = {"on": True}
+
+    def flaky(src, dst, *a, **k):
+        if fail["on"]:
+            raise OSError(5, "EIO")
+        return real_replace(src, dst, *a, **k)
+
+    monkeypatch.setattr(os, "replace", flaky)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        cache.put(SPECS[0], point)
+        cache.put(SPECS[1], point)
+        fail["on"] = False
+        cache.put(SPECS[2], point)  # success: streak resets
+        fail["on"] = True
+        cache.put(SPECS[3], point)
+    assert cache._disk_ok()  # never hit 3 *consecutive* failures
+
+
+# -- single-flight locks ----------------------------------------------------
+
+def test_try_lock_release_roundtrip(tmp_path):
+    a = ResultCache(directory=tmp_path)
+    b = ResultCache(directory=tmp_path)
+    key = a.key(SPECS[0])
+    assert a.try_lock(key)
+    assert not b.try_lock(key)
+    assert b.stats.lock_waits == 1
+    a.release(key)
+    assert b.try_lock(key)
+    b.release(key)
+
+
+def test_dead_holder_lock_is_reaped(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    key = cache.key(SPECS[0])
+    path = cache._lock_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # A pid that cannot exist: the holder is certainly dead.
+    path.write_text(f"{2**22 + 1} {time.time():.3f}\n")
+    assert cache.try_lock(key)
+    assert cache.stats.stale_locks_reaped == 1
+    cache.release(key)
+
+
+def test_silent_holder_lock_goes_stale_by_age(tmp_path):
+    cache = ResultCache(directory=tmp_path, stale_lock_after=0.1)
+    key = cache.key(SPECS[0])
+    path = cache._lock_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("not-a-pid\n")
+    old = time.time() - 60
+    os.utime(path, (old, old))
+    assert cache.try_lock(key)
+    assert cache.stats.stale_locks_reaped == 1
+    cache.release(key)
+
+
+def test_wait_for_times_out_to_local_simulation(tmp_path):
+    a = ResultCache(directory=tmp_path)
+    b = ResultCache(directory=tmp_path)
+    key = a.key(SPECS[0])
+    assert a.try_lock(key)
+    assert b.wait_for(key, timeout=0.2, poll=0.02) is None
+    assert b.stats.lock_timeouts == 1
+    a.release(key)
+
+
+def test_wait_for_coalesces_a_concurrent_simulation(tmp_path):
+    a = ResultCache(directory=tmp_path)
+    b = ResultCache(directory=tmp_path)
+    key = a.key(SPECS[0])
+    point = run_points(SPECS[:1])[0]
+    assert a.try_lock(key)
+
+    def finish():
+        time.sleep(0.15)
+        a.put(SPECS[0], point, key=key)
+        a.release(key)
+
+    t = threading.Thread(target=finish)
+    t.start()
+    got = b.wait_for(key, timeout=5.0, poll=0.02)
+    t.join()
+    assert got is not None
+    assert dataclasses.asdict(got) == dataclasses.asdict(point)
+    assert b.stats.coalesced == 1
+
+
+def test_run_points_coalesces_across_cache_instances(tmp_path):
+    """Two 'processes' (two cache instances over one directory): each
+    unique point simulated exactly once, the second run coalesced."""
+    a = ResultCache(directory=tmp_path)
+    b = ResultCache(directory=tmp_path)
+    baseline = run_points(SPECS, jobs=1)
+    results = {}
+
+    def runner(name, cache, delay):
+        time.sleep(delay)
+        results[name] = run_points(SPECS, jobs=1, cache=cache)
+
+    ta = threading.Thread(target=runner, args=("a", a, 0.0))
+    tb = threading.Thread(target=runner, args=("b", b, 0.05))
+    ta.start(); tb.start(); ta.join(); tb.join()
+    assert _fields(results["a"]) == _fields(baseline)
+    assert _fields(results["b"]) == _fields(baseline)
+    # Exactly one simulation per unique point across both runs.
+    assert a.stats.misses + b.stats.misses == len(SPECS)
+    assert b.stats.coalesced + b.stats.disk_hits + b.stats.memory_hits \
+        == len(SPECS) - b.stats.misses
+
+
+def test_single_flight_off_is_uncoordinated(tmp_path):
+    a = ResultCache(directory=tmp_path, single_flight=False)
+    b = ResultCache(directory=tmp_path, single_flight=False)
+    key = a.key(SPECS[0])
+    assert a.try_lock(key) and b.try_lock(key)  # everyone may simulate
+    a.release(key); b.release(key)
+
+
+# -- policy integration (satellites) ---------------------------------------
+
+def test_skip_policy_streams_completed_points_to_cache(tmp_path):
+    """Write-back is streaming: points cached as they finish, so the
+    points before a failure survive it."""
+    cache = ResultCache(directory=tmp_path)
+    bad = PointSpec("summa", LINUX_MYRINET, 4, 16, transa=True)  # raises
+    specs = [SPECS[0], SPECS[1], bad, SPECS[2]]
+    report = SweepReport()
+    points = run_points(specs, jobs=1, cache=cache,
+                        policy=ExecutionPolicy(on_error="skip"),
+                        report=report)
+    assert points[2] is None and None not in (points[0], points[1], points[3])
+    assert cache.stats.writes == 3
+    assert len(report.failed) == 1 and report.failed[0].index == 2
+
+
+def test_raise_policy_keeps_earlier_points_cached(tmp_path):
+    from repro.bench.parallel import PointExecutionError
+
+    cache = ResultCache(directory=tmp_path)
+    bad = PointSpec("summa", LINUX_MYRINET, 4, 16, transa=True)
+    with pytest.raises((PointExecutionError, ValueError)):
+        run_points([SPECS[0], SPECS[1], bad], jobs=1, cache=cache)
+    # The two points that finished before the failure are on disk.
+    fresh = ResultCache(directory=tmp_path)
+    rerun = run_points(SPECS[:2], jobs=1, cache=fresh)
+    assert fresh.stats.misses == 0
+    assert _fields(rerun) == _fields(run_points(SPECS[:2], jobs=1))

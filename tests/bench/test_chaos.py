@@ -1,0 +1,140 @@
+"""Tests for the deterministic harness-chaos layer.
+
+Determinism is the load-bearing property: the same seed must produce the
+same kill and corruption schedule on every machine and every run, or
+chaos drills stop being reproducible evidence and become flakes.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.chaos import ChaosInterrupt, ChaosPlan
+from repro.bench.parallel import ExecutionPolicy, PointSpec, SweepReport, run_points
+from repro.machines import LINUX_MYRINET
+
+SPECS = [
+    PointSpec("srumma", LINUX_MYRINET, 4, 24),
+    PointSpec("pdgemm", LINUX_MYRINET, 4, 24),
+    PointSpec("summa", LINUX_MYRINET, 4, 16),
+]
+
+
+def _fields(points):
+    return [dataclasses.asdict(p) for p in points]
+
+
+# -- pure-plan determinism --------------------------------------------------
+
+def test_same_seed_same_schedule():
+    a = ChaosPlan(seed=42, worker_kill_prob=0.3)
+    b = ChaosPlan(seed=42, worker_kill_prob=0.3)
+    assert a.kill_schedule(64) == b.kill_schedule(64)
+    assert a.kill_schedule(64)  # 0.3 over 256 draws: certainly non-empty
+
+
+def test_different_seeds_differ():
+    a = ChaosPlan(seed=1, worker_kill_prob=0.3)
+    b = ChaosPlan(seed=2, worker_kill_prob=0.3)
+    assert a.kill_schedule(64) != b.kill_schedule(64)
+
+
+def test_kinds_draw_from_independent_streams():
+    # Turning one chaos kind on must not perturb another kind's schedule.
+    bare = ChaosPlan(seed=9, worker_kill_prob=0.25)
+    loaded = ChaosPlan(seed=9, worker_kill_prob=0.25,
+                       cache_io_error_prob=0.5, cache_corrupt_prob=0.5)
+    assert bare.kill_schedule(32) == loaded.kill_schedule(32)
+
+
+def test_attempts_draw_independently():
+    plan = ChaosPlan(seed=3, worker_kill_prob=0.5)
+    draws = {plan.kills_worker(5, a) for a in range(16)}
+    assert draws == {True, False}  # both outcomes appear across attempts
+
+
+def test_zero_probability_never_fires():
+    plan = ChaosPlan(seed=123)
+    assert plan.kill_schedule(128) == []
+    assert not plan.cache_io_fails(0)
+    assert not plan.corrupts_entry(0)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError, match="worker_kill_prob"):
+        ChaosPlan(worker_kill_prob=1.5)
+    with pytest.raises(ValueError, match="kill_after"):
+        ChaosPlan(kill_after=0)
+
+
+def test_json_roundtrip_and_unknown_fields(tmp_path):
+    plan = ChaosPlan(seed=7, worker_kill_prob=0.1, kill_after=3)
+    assert ChaosPlan.from_json(plan.to_json()) == plan
+    with pytest.raises(ValueError, match="unknown chaos plan fields"):
+        ChaosPlan.from_json('{"seed": 1, "typo_prob": 0.5}')
+    f = tmp_path / "plan.json"
+    f.write_text(plan.to_json())
+    assert ChaosPlan.parse(str(f)) == plan
+    assert ChaosPlan.parse(f"@{f}") == plan
+    assert ChaosPlan.parse(plan.to_json()) == plan
+
+
+# -- harness integration ----------------------------------------------------
+
+def test_worker_kills_absorbed_by_retry_policy():
+    plan = ChaosPlan(seed=11, worker_kill_prob=0.5)
+    # Pick a seed/prob where every point survives within 4 attempts.
+    assert all(any(not plan.kills_worker(i, a) for a in range(4))
+               for i in range(len(SPECS)))
+    policy = ExecutionPolicy(on_error="retry", retries=3, retry_backoff=0.0,
+                             chaos=plan)
+    report = SweepReport()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(SPECS, jobs=2, policy=policy, report=report)
+    assert _fields(points) == _fields(run_points(SPECS, jobs=1))
+    assert not report.failed
+
+
+def test_certain_kills_with_skip_policy_report_failures():
+    policy = ExecutionPolicy(
+        on_error="skip", chaos=ChaosPlan(seed=1, worker_kill_prob=1.0))
+    report = SweepReport()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(SPECS, jobs=2, policy=policy, report=report)
+    assert points == [None] * len(SPECS)
+    assert len(report.failed) == len(SPECS)
+    assert not report.ok
+    assert "failed=3" in report.summary()
+
+
+def test_kill_after_interrupts_deterministically():
+    policy = ExecutionPolicy(chaos=ChaosPlan(seed=5, kill_after=1))
+    with pytest.raises(ChaosInterrupt):
+        run_points(SPECS, jobs=1, policy=policy)
+
+
+def test_injected_cache_io_errors_never_fail_the_sweep(tmp_path):
+    cache = ResultCache(directory=tmp_path,
+                        chaos=ChaosPlan(seed=2, cache_io_error_prob=1.0))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(SPECS, jobs=1, cache=cache)
+    assert _fields(points) == _fields(run_points(SPECS, jobs=1))
+    assert cache.stats.io_errors > 0
+    assert cache.stats.disk_hits == 0
+
+
+def test_injected_corruption_drives_corrupt_discard_path(tmp_path):
+    plan = ChaosPlan(seed=4, cache_corrupt_prob=1.0)
+    cache = ResultCache(directory=tmp_path, chaos=plan)
+    run_points(SPECS, jobs=1, cache=cache)
+    assert cache.stats.writes == len(SPECS)
+    # A second cache over the same directory reads the garbled entries.
+    fresh = ResultCache(directory=tmp_path)
+    points = run_points(SPECS, jobs=1, cache=fresh)
+    assert fresh.stats.corrupt_discarded == len(SPECS)
+    assert _fields(points) == _fields(run_points(SPECS, jobs=1))

@@ -1,0 +1,136 @@
+"""Tests for the durable sweep journal.
+
+The contract under test: an interrupted ``run_points`` batch resumed
+with the same journal directory produces **field-identical** results to
+an uninterrupted run, re-simulating only the points that had not yet
+completed — and no journaling at all happens unless a policy asks for
+it.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.chaos import ChaosInterrupt, ChaosPlan
+from repro.bench.journal import JOURNAL_SCHEMA_VERSION, SweepJournal, sweep_key
+from repro.bench.parallel import ExecutionPolicy, PointSpec, SweepReport, run_points
+from repro.machines import LINUX_MYRINET, SGI_ALTIX
+
+SPECS = [
+    PointSpec("srumma", LINUX_MYRINET, 4, 24),
+    PointSpec("pdgemm", LINUX_MYRINET, 4, 24),
+    PointSpec("srumma", SGI_ALTIX, 8, 32),
+    PointSpec("summa", LINUX_MYRINET, 4, 16),
+]
+
+
+def _fields(points):
+    return [dataclasses.asdict(p) for p in points]
+
+
+def _journal_files(tmp_path):
+    return sorted((tmp_path / "journal").glob("*.jsonl"))
+
+
+def test_sweep_key_is_stable_and_order_sensitive():
+    assert sweep_key(SPECS) == sweep_key(list(SPECS))
+    assert sweep_key(SPECS) != sweep_key(SPECS[::-1])
+    assert sweep_key(SPECS) != sweep_key(SPECS[:-1])
+
+
+def test_record_and_resume_roundtrip(tmp_path):
+    j = SweepJournal.open(tmp_path, SPECS)
+    baseline = [s.run() for s in SPECS]
+    for i in (0, 2):
+        j.record(i, SPECS[i], baseline[i])
+    j.close()
+
+    again = SweepJournal.open(tmp_path, SPECS)
+    assert again.resumed_points == 2
+    assert set(again.completed) == {0, 2}
+    assert _fields([again.completed[0], again.completed[2]]) == _fields(
+        [baseline[0], baseline[2]])
+
+
+def test_finish_unlinks_close_keeps(tmp_path):
+    j = SweepJournal.open(tmp_path, SPECS)
+    j.record(0, SPECS[0], SPECS[0].run())
+    j.close()
+    assert len(_journal_files(tmp_path)) == 1
+
+    j2 = SweepJournal.open(tmp_path, SPECS)
+    j2.finish()
+    assert _journal_files(tmp_path) == []
+
+
+def test_truncated_trailing_line_is_dropped(tmp_path):
+    j = SweepJournal.open(tmp_path, SPECS)
+    for i in range(3):
+        j.record(i, SPECS[i], SPECS[i].run())
+    j.close()
+    path = _journal_files(tmp_path)[0]
+    raw = path.read_bytes()
+    # Chop the file mid-way through the last record: a crash mid-append.
+    path.write_bytes(raw[:-20])
+
+    again = SweepJournal.open(tmp_path, SPECS)
+    assert set(again.completed) == {0, 1}
+    # Opening rewrote the file canonically: loadable line by line again.
+    lines = _journal_files(tmp_path)[0].read_text().splitlines()
+    assert len(lines) == 3  # header + the two surviving records
+    assert json.loads(lines[0])["journal_schema"] == JOURNAL_SCHEMA_VERSION
+
+
+def test_different_batch_starts_fresh(tmp_path):
+    j = SweepJournal.open(tmp_path, SPECS)
+    j.record(0, SPECS[0], SPECS[0].run())
+    j.close()
+    other = SweepJournal.open(tmp_path, SPECS[:-1])
+    assert other.completed == {}
+    assert other.key != j.key
+
+
+def test_resume_false_ignores_existing_records(tmp_path):
+    j = SweepJournal.open(tmp_path, SPECS)
+    j.record(0, SPECS[0], SPECS[0].run())
+    j.close()
+    fresh = SweepJournal.open(tmp_path, SPECS, resume=False)
+    assert fresh.completed == {}
+    assert fresh.resumed_points == 0
+
+
+def test_interrupt_then_resume_is_field_identical(tmp_path):
+    baseline = run_points(SPECS, jobs=1)
+    policy = ExecutionPolicy(
+        journal_dir=tmp_path, chaos=ChaosPlan(seed=7, kill_after=2))
+    with pytest.raises(ChaosInterrupt):
+        run_points(SPECS, jobs=1, policy=policy)
+    assert len(_journal_files(tmp_path)) == 1  # interrupted: file kept
+
+    report = SweepReport()
+    resumed = run_points(SPECS, jobs=1,
+                         policy=ExecutionPolicy(journal_dir=tmp_path),
+                         report=report)
+    assert _fields(resumed) == _fields(baseline)
+    assert report.from_journal == 2
+    assert report.executed == len(SPECS) - 2
+    assert _journal_files(tmp_path) == []  # completed: journal retired
+
+
+def test_journal_replay_skips_cache_and_execution(tmp_path):
+    policy = ExecutionPolicy(journal_dir=tmp_path)
+    first = run_points(SPECS, jobs=1, policy=policy)
+    # A finished batch leaves no journal, so a rerun re-executes.
+    report = SweepReport()
+    second = run_points(SPECS, jobs=1, policy=policy, report=report)
+    assert _fields(second) == _fields(first)
+    assert report.from_journal == 0 and report.executed == len(SPECS)
+
+
+def test_unwritable_journal_degrades_not_fails(tmp_path, monkeypatch):
+    blocker = tmp_path / "journal"
+    blocker.write_text("not a directory")  # mkdir(parents=True) will fail
+    policy = ExecutionPolicy(journal_dir=tmp_path)
+    points = run_points(SPECS[:2], jobs=1, policy=policy)
+    assert [p.algorithm for p in points] == ["srumma", "pdgemm"]

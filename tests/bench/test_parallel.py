@@ -209,3 +209,67 @@ def test_point_timeout_ignored_on_serial_path(monkeypatch):
     points = run_points([PointSpec("srumma", LINUX_MYRINET, 4, 16)],
                         jobs=1, point_timeout=1e-9)
     assert points[0].algorithm == "srumma"
+
+
+def test_point_execution_error_pickles_roundtrip():
+    import pickle
+
+    err = PointExecutionError(MIXED_SPECS[0], "worker traceback text")
+    back = pickle.loads(pickle.dumps(err))
+    assert isinstance(back, PointExecutionError)
+    assert back.spec == err.spec
+    assert back.remote_traceback == err.remote_traceback
+    assert str(back) == str(err)
+
+
+def test_skip_policy_on_pool_path(monkeypatch):
+    from repro.bench import parallel as mod
+    from repro.bench.parallel import ExecutionPolicy, SweepReport
+
+    monkeypatch.setattr(mod, "_run_point_payload", _suicidal_payload)
+    specs = [PointSpec("srumma", LINUX_MYRINET, 4, 16),
+             PointSpec("pdgemm", LINUX_MYRINET, 4, 16)]
+    report = SweepReport()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(specs, jobs=2,
+                            policy=ExecutionPolicy(on_error="skip"),
+                            report=report)
+    assert points == [None, None]
+    assert [f.index for f in report.failed] == [0, 1]
+    assert all("worker process died" in f.error for f in report.failed)
+
+
+def test_retry_policy_recovers_worker_death(monkeypatch, tmp_path):
+    from repro.bench import parallel as mod
+    from repro.bench.parallel import ExecutionPolicy, SweepReport
+
+    monkeypatch.setattr(mod, "_run_point_payload", _die_once_payload)
+    flag = str(tmp_path / "died-once")
+    specs = [PointSpec("srumma", LINUX_MYRINET, 4, 16, payload=flag),
+             PointSpec("pdgemm", LINUX_MYRINET, 4, 16, payload=flag)]
+    report = SweepReport()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_points(
+            specs, jobs=2,
+            policy=ExecutionPolicy(on_error="retry", retries=2,
+                                   retry_backoff=0.0),
+            report=report)
+    assert not report.failed
+    assert _fields(points) == _fields(run_points(
+        [dataclasses.replace(s, payload="synthetic") for s in specs], jobs=1))
+
+
+def test_retry_policy_on_serial_path_bounded(tmp_path):
+    from repro.bench.parallel import ExecutionPolicy, SweepReport
+
+    bad = PointSpec("summa", LINUX_MYRINET, 4, 16, transa=True)  # raises
+    report = SweepReport()
+    points = run_points(
+        [bad], jobs=1,
+        policy=ExecutionPolicy(on_error="retry", retries=2,
+                               retry_backoff=0.0),
+        report=report)
+    assert points == [None]
+    assert report.failed[0].attempts == 3  # 1 try + 2 retries
