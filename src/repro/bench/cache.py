@@ -94,7 +94,7 @@ __all__ = [
     "point_key",
 ]
 
-CACHE_SCHEMA_VERSION = 3
+CACHE_SCHEMA_VERSION = 4
 """Bump when the key anatomy or the entry format changes; old disk
 namespaces become unreachable (and reapable) rather than misread.
 History: 2 added the ``faults`` field (fault-injection plans) to the key
@@ -102,7 +102,10 @@ anatomy, so degraded runs can never collide with healthy ones; 3 covers
 the crash/ABFT fault-plan extension (``crashes``, ``corruption_rate``,
 ``checkpoint_interval`` — picked up automatically by the dataclass walk
 in ``_canon``) plus the per-rank draw-stream change, which shifts every
-degraded-run result."""
+degraded-run result; 4 covers the failure-detection extension
+(``partitions``, ``rejoins``, ``detector``, ``watchdog_grace`` — again
+picked up by the ``_canon`` dataclass walk), so detector parameters hash
+into point keys and detection runs never collide with oracle ones."""
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 

@@ -368,6 +368,108 @@ def _crash(full: bool, jobs: Optional[int] = 1,
              "inflation"], rows)
 
 
+def _detection(full: bool, jobs: Optional[int] = 1,
+               cache=None, verbose: bool = False,
+               policy=None, report=None,
+               fault_seed: int = 0, fault_plan=None) -> Result:
+    """Completion inflation under *imperfect* failure detection.
+
+    A node dies at 50 % of SRUMMA's healthy runtime, but — unlike the
+    ``crash`` experiment — nobody gets oracle knowledge: a heartbeat
+    detector (period = timeout/4, confirmation after timeout/2 more
+    silence) must notice, confirm, and disseminate the failure before
+    survivors reassign the dead ranks' work.  The sweep crosses the
+    detection timeout with a per-heartbeat loss probability (the
+    false-positive knob: lost heartbeats can get *live* nodes suspected
+    and even falsely confirmed; the membership epoch fence then rejects
+    the duplicate write-backs, counted in the ``stale rejected`` column).
+
+    The analytic baseline is the ``crash`` experiment's SUMMA
+    restart-from-checkpoint model with its generic 5 % detection sweep
+    replaced by this detector's actual delay (timeout + confirm grace) —
+    restart pays the same imperfect detection, then throws away the run.
+
+    Deterministic end to end: heartbeats ride seeded counter-indexed
+    draw streams, detector parameters hash into the cache keys, and each
+    point is an independent seeded simulation, so rows are byte-identical
+    across runs and ``--jobs`` values.
+    """
+    from ..sim.faults import DetectorConfig, FaultPlan, NodeCrash
+
+    n, nranks = (4000, 64) if full else (1024, 16)
+    spec = LINUX_MYRINET
+    nnodes = -(-nranks // spec.cpus_per_node)
+    opts = SrummaOptions(dynamic=True)
+
+    healthy = _require_complete(run_points(
+        [PointSpec("srumma", spec, nranks, n, options=opts),
+         PointSpec("summa", spec, nranks, n)],
+        jobs=jobs, cache=cache, verbose=verbose, policy=policy,
+        report=report), "detection")
+    h_srumma, h_summa = (p.elapsed for p in healthy)
+    t_fail = 0.5 * h_srumma
+
+    timeouts = (0.025, 0.05, 0.1)   # detection timeout, fraction of healthy
+    fp_rates = (0.0, 0.2, 0.3)      # per-heartbeat loss probability
+
+    def plan_for(tmo_frac: float, fp: float) -> FaultPlan:
+        if fault_plan is not None:
+            return fault_plan  # explicit plan overrides the sweep
+        tmo = tmo_frac * h_srumma
+        return FaultPlan(
+            crashes=(NodeCrash(node=nnodes - 1, t_fail=t_fail),),
+            checkpoint_interval=2,
+            get_timeout=0.25 * h_srumma,
+            detector=DetectorConfig(
+                period=tmo / 4, timeout=tmo, confirm_grace=tmo / 2,
+                heartbeat_loss_prob=fp),
+            watchdog_grace=5.0 * h_srumma,
+            seed=fault_seed)
+
+    cases = [(t, fp) for t in timeouts for fp in fp_rates]
+    degraded = run_points(
+        [PointSpec("srumma", spec, nranks, n, options=opts,
+                   faults=plan_for(t, fp)) for t, fp in cases],
+        jobs=jobs, cache=cache, verbose=verbose, policy=policy,
+        report=report)
+
+    bw = spec.network.bandwidth
+
+    def restart_completion(healthy_t: float, tmo_frac: float) -> float:
+        # The crash experiment's model with the failure at 50 % of the
+        # restart system's own run (same convention as its inflation
+        # column) and the flat 5 % detection sweep replaced by this
+        # detector's actual delay.  The detector is configured in
+        # absolute time (fractions of SRUMMA's healthy run), so the
+        # delay term is the same wall-clock on both sides.
+        ckpt = (n * n * 8) / nnodes / bw
+        reload_ = 3 * (n * n * 8) / nnodes / bw
+        period = 0.25 * healthy_t
+        t_fail_b = 0.5 * healthy_t
+        n_ckpts = int(t_fail_b / period - 1e-9)
+        detect = 1.5 * tmo_frac * h_srumma  # timeout + confirm grace
+        rework = (healthy_t - n_ckpts * period) * nnodes / (nnodes - 1)
+        return t_fail_b + n_ckpts * ckpt + detect + reload_ + rework
+
+    rows = []
+    for (t, fp), d in zip(cases, degraded):
+        el = _el(d)
+        health = d.extra.get("health", {}) if d is not None else {}
+        restart = restart_completion(h_summa, t)
+        rows.append([f"{t:g}", f"{fp:g}", el * 1e3, el / h_srumma,
+                     restart * 1e3, restart / h_summa,
+                     health.get("suspected", 0),
+                     health.get("false_suspicions", 0),
+                     health.get("stale_epoch_rejected", 0)])
+    return (f"Resilience — imperfect failure detection, N={n}, {nranks} "
+            f"CPUs, node {nnodes - 1} dies at 50% (detection timeout x "
+            f"heartbeat-loss rate), {spec.name}",
+            ["timeout (xh)", "fp rate", "srumma ms", "srumma inflation",
+             "restart ms", "restart inflation", "suspected",
+             "false suspicions", "stale rejected"],
+            rows)
+
+
 def _comm_bound(full: bool, jobs: Optional[int] = 1,
                 cache=None, verbose: bool = False,
           policy=None, report=None) -> Result:
@@ -451,6 +553,7 @@ EXPERIMENTS: dict[str, Callable[..., Result]] = {
     "comm-bound": _comm_bound,
     "resilience": _resilience,
     "crash": _crash,
+    "detection": _detection,
 }
 
 

@@ -210,16 +210,31 @@ class SweepReport:
     deduped: int = 0
     coalesced: int = 0
     failed: list[FailedPoint] = field(default_factory=list)
+    health: dict[str, int] = field(default_factory=dict)
+    """Accumulated health counters (suspicions, fence rejections,
+    diagnosed stalls, ...) from every completed point that carried them —
+    detection/watchdog runs attach theirs via ``MatmulPoint.extra``."""
 
     @property
     def ok(self) -> bool:
         return not self.failed
 
+    def merge_health(self, counters: Optional[dict]) -> None:
+        if not counters:
+            return
+        for name, val in counters.items():
+            self.health[name] = self.health.get(name, 0) + int(val)
+
     def summary(self) -> str:
-        return (f"points={self.total} executed={self.executed} "
-                f"cache={self.from_cache} journal={self.from_journal} "
-                f"dedup={self.deduped} coalesced={self.coalesced} "
-                f"failed={len(self.failed)}")
+        out = (f"points={self.total} executed={self.executed} "
+               f"cache={self.from_cache} journal={self.from_journal} "
+               f"dedup={self.deduped} coalesced={self.coalesced} "
+               f"failed={len(self.failed)}")
+        if self.health:
+            body = " ".join(f"{k}={self.health[k]}"
+                            for k in sorted(self.health))
+            out += f" health[{body}]"
+        return out
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -430,9 +445,13 @@ def _execute_stream(specs: Sequence[PointSpec], indices: Sequence[int],
 
 
 def _emit(index: int, total: int, spec: PointSpec, status: str,
-          wall_s: float) -> None:
+          wall_s: float, health: Optional[dict] = None) -> None:
+    tail = ""
+    if health:
+        body = " ".join(f"{k}={health[k]}" for k in sorted(health))
+        tail = f" health[{body}]"
     print(f"[point {index + 1}/{total}] {spec.describe()}: "
-          f"{wall_s:.3f}s ({status})", file=sys.stderr, flush=True)
+          f"{wall_s:.3f}s ({status}){tail}", file=sys.stderr, flush=True)
 
 
 _DEFAULT_POLICY = ExecutionPolicy()
@@ -531,6 +550,9 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
                   status: str) -> None:
         """One point resolved: merge, write back, journal, then count it."""
         results[i] = point
+        point_health = (point.extra.get("health")
+                        if point is not None else None)
+        rep.merge_health(point_health)
         if status in ("run", "miss") and cache is not None:
             cache.put(specs[i], point, key=held.get(i))
         if i in held:
@@ -538,7 +560,7 @@ def run_points(specs: Sequence[PointSpec], jobs: Optional[int] = None,
         if journal is not None:
             journal.record(i, specs[i], point)
         if verbose:
-            _emit(i, total, specs[i], status, wall_s)
+            _emit(i, total, specs[i], status, wall_s, health=point_health)
         if status in ("run", "miss"):
             rep.executed += 1
             _note_executed()

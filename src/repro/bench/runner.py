@@ -119,6 +119,15 @@ def run_matmul(algorithm: str, spec: MachineSpec, nranks: int,
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
 
+    # Detection/watchdog runs carry their health counters with the point,
+    # so sweeps and cached replays can report suspicion/fence/stall
+    # activity without re-simulating.
+    run = getattr(res, "run", None)
+    if (run is not None and faults is not None
+            and (getattr(faults, "detector", None) is not None
+                 or getattr(faults, "watchdog_grace", None) is not None)):
+        extra["health"] = dict(run.tracer.health())
+
     return MatmulPoint(
         algorithm=algorithm, platform=spec.name, m=m, n=n, k=k,
         nranks=nranks, gflops=res.gflops, elapsed=res.elapsed,

@@ -252,7 +252,7 @@ def _report_cache(cache) -> None:
 def _report_sweep(report) -> int:
     """Print the sweep outcome; exit status 1 if any point failed."""
     interesting = (report.failed or report.from_journal or report.deduped
-                   or report.coalesced)
+                   or report.coalesced or report.health)
     if interesting:
         print(f"[sweep] {report.summary()}", file=sys.stderr)
     for fp in report.failed:

@@ -36,8 +36,11 @@ import numpy as np
 
 from ..sim.cluster import Machine
 from ..sim.engine import Event, Interrupt
+from ..sim.membership import DEAD as _MEMBER_DEAD
+from ..sim.membership import REJOINED as _MEMBER_REJOINED
 from ..sim.network import Link
-from .base import CommError, GetFailedError, NodeCrashedError, Request
+from .base import (CommError, GetFailedError, NodeCrashedError, Request,
+                   supervised_yield)
 
 __all__ = ["ArmciRuntime", "Armci"]
 
@@ -143,8 +146,19 @@ class ArmciRuntime:
         success — while an operation whose *target* died fails with
         :class:`NodeCrashedError` so the live caller's robust wait can
         re-issue against the replica.
+
+        Under a failure detector the kill-instant call is a no-op: nobody
+        *knows* the node died yet, so survivors' transfers keep (not)
+        progressing until the monitor confirms the death, at which point
+        :meth:`Machine.notify_confirmed` re-fires this listener and the
+        sweep runs — at detection time, with detection-lag cost.  The
+        listener is idempotent, so the double fire is safe.
         """
         machine = self.machine
+        membership = machine.membership
+        if membership is not None and membership.state.get(node) not in (
+                _MEMBER_DEAD, _MEMBER_REJOINED):
+            return
         for done, (caller, target, req) in list(self._inflight.items()):
             if done.triggered:
                 continue
@@ -226,13 +240,16 @@ class ArmciRuntime:
         machine.tracer.bump("armci_get")
         sg_extra = max(0, segments - 1) * spec.network.sg_overhead
 
-        if machine.dead_nodes and machine.rank_is_dead(target):
-            # The owner died: serve the get from a replica shard.  Timing
-            # and contention follow the replica's links; the payload is
-            # still read from the registry, which models the replica's
-            # identical copy.  Spreading by caller declusters the
-            # reconstruction reads across live nodes.
-            target = machine.replica_of(target, spread=caller)
+        if ((machine.dead_nodes or machine.membership is not None)
+                and machine.presumed_dead(caller, target)):
+            # The owner is *believed* dead (oracle truth without a
+            # detector, the caller's membership view with one): serve the
+            # get from a replica shard.  Timing and contention follow the
+            # replica's links; the payload is still read from the
+            # registry, which models the replica's identical copy.
+            # Spreading by caller declusters the reconstruction reads
+            # across live nodes.
+            target = machine.replica_for(caller, target, spread=caller)
             machine.tracer.bump("fault:get_redirected")
 
         if machine.same_domain(caller, target):
@@ -372,11 +389,12 @@ class ArmciRuntime:
         machine.tracer.bump("armci_put")
         done = engine.event("armci.put")
 
-        if machine.dead_nodes and machine.rank_is_dead(target):
-            # Puts to a dead rank land on its replica shard (checkpoint
-            # shipping and recovery write-back keep working after a buddy
-            # dies), spread by caller like redirected gets.
-            target = machine.replica_of(target, spread=caller)
+        if ((machine.dead_nodes or machine.membership is not None)
+                and machine.presumed_dead(caller, target)):
+            # Puts to a presumed-dead rank land on its replica shard
+            # (checkpoint shipping and recovery write-back keep working
+            # after a buddy dies), spread by caller like redirected gets.
+            target = machine.replica_for(caller, target, spread=caller)
             machine.tracer.bump("fault:put_redirected")
 
         if machine.same_domain(caller, target):
@@ -480,8 +498,9 @@ class ArmciRuntime:
         machine.tracer.bump("armci_acc")
         done = engine.event("armci.acc")
 
-        if machine.dead_nodes and machine.rank_is_dead(target):
-            target = machine.replica_of(target, spread=caller)
+        if ((machine.dead_nodes or machine.membership is not None)
+                and machine.presumed_dead(caller, target)):
+            target = machine.replica_for(caller, target, spread=caller)
             machine.tracer.bump("fault:put_redirected")
 
         def accumulate():
@@ -739,8 +758,12 @@ class Armci:
         return self._rt.put_transfer(self.rank, target, float(nbytes))
 
     def _wait(self, req: Request):
-        engine = self._rt.machine.engine
+        machine = self._rt.machine
+        engine = machine.engine
         t0 = engine.now
         if not req.done.triggered:
-            yield req.done
-        self._rt.machine.tracer.account(self.rank, "comm_wait", engine.now - t0)
+            yield from supervised_yield(
+                machine, req.done,
+                what=f"rank {self.rank} blocking armci "
+                     f"{req.kind or 'op'} of {req.nbytes:.0f}B")
+        machine.tracer.account(self.rank, "comm_wait", engine.now - t0)

@@ -29,7 +29,25 @@ from ..sim.engine import Engine, Event
 from ..sim.trace import Tracer
 
 __all__ = ["Request", "CommError", "GetFailedError", "WaitTimeout",
-           "NodeCrashedError", "RankContext", "ParallelRun", "run_parallel"]
+           "NodeCrashedError", "RankContext", "ParallelRun", "run_parallel",
+           "supervised_yield"]
+
+
+def supervised_yield(machine: Machine, event: Event,
+                     what: str = "") -> Generator:
+    """Yield on ``event``, watched by the progress watchdog when armed.
+
+    The single wait primitive every comm backend's blocking path routes
+    through: without a watchdog it is exactly ``yield event`` (the
+    pre-watchdog event sequence); with one, a wait that outlives a grace
+    window in which *nothing anywhere* completed raises a diagnosed
+    :class:`~repro.sim.engine.StallError` instead of hanging the run.
+    """
+    watchdog = machine.watchdog
+    if watchdog is None:
+        value = yield event
+        return value
+    return (yield from watchdog.supervised_wait(event, what=what))
 
 
 class CommError(RuntimeError):
@@ -290,10 +308,25 @@ class RankContext:
 
     # -- waiting -----------------------------------------------------------
     def wait(self, request: Request) -> Generator:
-        """Block until a nonblocking operation completes; accounts the wait."""
+        """Block until a nonblocking operation completes; accounts the wait.
+
+        With the engine progress watchdog armed (``watchdog_grace`` in the
+        fault plan), the block is *supervised*: if nothing anywhere in the
+        simulation completes for a full grace window while this request
+        stays pending, the wait raises a diagnosed
+        :class:`~repro.sim.engine.StallError` instead of hanging.
+        """
         t0 = self.now
         if not request.done.triggered:
-            yield request.done
+            watchdog = self.machine.watchdog
+            if watchdog is not None:
+                yield from watchdog.supervised_wait(
+                    request.done,
+                    what=f"rank {self.rank} waiting on "
+                         f"{request.kind or 'request'} of "
+                         f"{request.nbytes:.0f}B")
+            else:
+                yield request.done
         self.tracer.account(self.rank, "comm_wait", self.now - t0)
         if request.on_complete is not None:
             cb, request.on_complete = request.on_complete, None
@@ -432,6 +465,22 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
         from ..sim.faults import install_faults
 
         daemons.extend(install_faults(machine, faults).start())
+    if machine.watchdog is not None:
+        # Arm the stall diagnosis with a per-rank blocked-state dump,
+        # mirroring the post-run deadlock report but captured live.
+        def describe_blocked() -> list:
+            stuck = [(rank, p) for rank, p in enumerate(procs)
+                     if not p.triggered]
+            details = []
+            for rank, p in stuck[:8]:
+                waiting = p._waiting_on
+                what = waiting.name if waiting is not None else "<unknown>"
+                details.append(f"rank {rank} blocked on {what!r}")
+            if len(stuck) > 8:
+                details.append(f"(+{len(stuck) - 8} more)")
+            return details
+
+        machine.watchdog.describe = describe_blocked
     if daemons:
         def supervisor():
             try:
@@ -470,5 +519,14 @@ def run_parallel(spec_or_machine, nranks: Optional[int],
         machine.net.flows_aggregated)
     machine.tracer.counters["engine:dispatch_batches"] = (
         machine.engine.dispatch_batches)
+    # Detection/watchdog counters surface uniformly whenever the features
+    # are on — a zero says "armed and nothing happened", absence says
+    # "feature off" — so sweep summaries can report them without guessing.
+    if machine.membership is not None:
+        for key in ("fault:suspected", "fault:false_suspicions",
+                    "fault:confirmed_dead", "fault:stale_epoch_rejected"):
+            machine.tracer.counters.setdefault(key, 0)
+    if machine.watchdog is not None:
+        machine.tracer.counters.setdefault("engine:stalls_diagnosed", 0)
     return ParallelRun(machine, elapsed, [p.value for p in procs],
                        armci_runtime=armci_rt)

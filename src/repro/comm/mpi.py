@@ -33,7 +33,7 @@ import numpy as np
 from ..sim.cluster import Machine
 from ..sim.network import Link
 from ..sim.resources import Mailbox
-from .base import CommError, Request
+from .base import CommError, Request, supervised_yield
 
 __all__ = ["MpiRuntime", "Mpi", "ANY_SOURCE", "ANY_TAG"]
 
@@ -293,7 +293,10 @@ class Mpi:
         engine = self._rt.engine
         t0 = engine.now
         if not req.done.triggered:
-            yield req.done
+            yield from supervised_yield(
+                self._rt.machine, req.done,
+                what=f"rank {self.rank} in MPI wait on "
+                     f"{req.kind or 'request'}")
         self._rt.machine.tracer.account(self.rank, "comm_wait", engine.now - t0)
         return req.done.value
 

@@ -28,7 +28,7 @@ import numpy as np
 from ..sim.network import Link
 from ..sim.resources import Resource
 from .armci import _normalize_index, Index
-from .base import CommError, RankContext
+from .base import CommError, RankContext, supervised_yield
 
 __all__ = ["MpiWindow"]
 
@@ -139,10 +139,13 @@ class MpiWindow:
                     machine.network_path(target, self.ctx.rank)
                     if kind == "get" else
                     machine.network_path(self.ctx.rank, target))
-            yield machine.transfer(nbytes, path,
-                                   latency=spec.network.latency
-                                   + spec.network.mpi_overhead,
-                                   label=f"mpi2-{kind} @{target}")
+            flow = machine.transfer(nbytes, path,
+                                    latency=spec.network.latency
+                                    + spec.network.mpi_overhead,
+                                    label=f"mpi2-{kind} @{target}")
+            yield from supervised_yield(
+                machine, flow,
+                what=f"rank {self.ctx.rank} in MPI-2 {kind} epoch @{target}")
             # The staging copy between the user buffer and the library's
             # internal buffer ran *serially* with the wire transfer in
             # era implementations (no chunk pipelining) — the main reason

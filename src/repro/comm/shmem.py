@@ -22,7 +22,7 @@ import numpy as np
 
 from ..sim.cluster import Machine
 from ..sim.network import Link
-from .base import CommError
+from .base import CommError, supervised_yield
 from .armci import ArmciRuntime, _normalize_index, Index
 
 __all__ = ["ShmemRuntime", "Shmem"]
@@ -135,9 +135,13 @@ class Shmem:
         t0 = engine.now
         yield cpu.request()
         try:
-            yield machine.transfer(nbytes, path,
-                                   latency=machine.spec.memory.shmem_latency,
-                                   label=f"shmem-copy {target}->{self.rank}")
+            flow = machine.transfer(
+                nbytes, path,
+                latency=machine.spec.memory.shmem_latency,
+                label=f"shmem-copy {target}->{self.rank}")
+            yield from supervised_yield(
+                machine, flow,
+                what=f"rank {self.rank} in shmem copy from rank {target}")
         finally:
             cpu.release()
         machine.tracer.account(self.rank, "copy", engine.now - t0)

@@ -204,7 +204,7 @@ def hierarchical_multiply(spec: MachineSpec, nranks: int, m: int, n: int,
         kb = default_kb_nodes(k, n_domains)
     if kb < 1:
         raise ValueError(f"panel width kb must be >= 1, got {kb}")
-    leaders = [machine.ranks_in_domain(d)[0] for d in range(n_domains)]
+    leaders = [machine.domain_leader(d) for d in range(n_domains)]
 
     if real:
         rng = np.random.default_rng(seed)

@@ -68,6 +68,15 @@ class RecoveryBoard:
         """survivor rank -> [(dead rank, task index), ...], built once."""
         self.dead_plans: dict[int, tuple] = {}
         """dead rank -> its ordered task tuple (index space of ``durable``)."""
+        self.claim_epoch: dict[int, int] = {}
+        """dead rank -> membership epoch stamped on recovery write-backs
+        (fence-at-claim: recorded when the block is claimed for recovery,
+        so the presumed-dead owner's own late commit carries an older
+        stamp and is rejected at the distarray layer)."""
+        self.staging: dict[int, object] = {}
+        """dead rank -> recovery working copy of its C block (real runs).
+        Survivors accumulate admitted partials here and refresh the
+        segment wholesale, so a retried put never double-adds."""
 
     def record(self, rank: int, count: int, snapshot=None) -> None:
         """Mark ``count`` tasks durable for ``rank`` (called on put completion).
@@ -101,12 +110,24 @@ def build_assignment(machine, board: RecoveryBoard, dead: list[int],
     (a no-op for synthetic runs); ``plan_tasks(d)`` rebuilds ``d``'s
     ordered task tuple — ordering must match what ``d`` itself executed,
     since the durable count indexes into it.
+
+    With imperfect detection (:class:`~repro.sim.membership.Membership`
+    installed) ``dead`` is the *builder's belief* — presumed-dead ranks,
+    some possibly alive stragglers.  Claiming a block fences it: the
+    membership epoch at claim time is recorded in ``board.claim_epoch``
+    and stamped on every recovery write-back, so a falsely-suspected
+    owner's later commit (stamped with the pre-claim generation) is
+    rejected instead of double-counting.  A presumed-dead rank is also
+    excluded from the participant pool even when it is physically alive.
     """
+    dead_set = set(dead)
     participants = sorted(
         r for r in range(grid_nranks)
-        if not machine.rank_is_dead(r) and r not in board.exited)
+        if not machine.rank_is_dead(r) and r not in dead_set
+        and r not in board.exited)
     if not participants:
         raise RuntimeError("no live ranks left to recover crashed work")
+    membership = getattr(machine, "membership", None)
     assignment: dict[int, list[tuple[int, int]]] = {r: [] for r in participants}
     dealt = 0
     for d in sorted(dead):
@@ -114,6 +135,8 @@ def build_assignment(machine, board: RecoveryBoard, dead: list[int],
             continue  # its C block was complete before the node died
         tasks = plan_tasks(d)
         board.dead_plans[d] = tasks
+        if membership is not None:
+            board.claim_epoch[d] = membership.claim(d)
         restore(d)
         for ti in range(board.durable.get(d, 0), len(tasks)):
             assignment[participants[dealt % len(participants)]].append((d, ti))
@@ -128,7 +151,10 @@ def plan_operands(machine, rank: int, flavor: str, task, dist_a, dist_b):
     Same classification as the healthy planner, with two crash-time
     overrides: a dead owner's panel must travel over the wire from its
     replica (never a direct view into dead memory), and the explicit-copy
-    mode of the X1 flavour degrades to a get for the same reason.
+    mode of the X1 flavour degrades to a get for the same reason.  Dead
+    is judged by the *executor's belief* (membership view when detection
+    is on, the oracle otherwise), so panels of presumed-dead stragglers
+    also route to replicas.
     """
     from ..comm.armci import _section_segments
     from .srumma import _Operand, _operand_mode
@@ -137,7 +163,7 @@ def plan_operands(machine, rank: int, flavor: str, task, dist_a, dist_b):
     for owner, index, shape, dist in (
             (task.a_owner, task.a_index, task.a_shape, dist_a),
             (task.b_owner, task.b_index, task.b_shape, dist_b)):
-        if machine.rank_is_dead(owner):
+        if machine.presumed_dead(rank, owner):
             mode, penalty = "get", False
         else:
             mode, penalty = _operand_mode(machine, rank, flavor, owner)

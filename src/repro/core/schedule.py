@@ -29,7 +29,8 @@ from typing import Callable, Sequence
 from ..sim.cluster import Machine
 from .tasks import BlockTask
 
-__all__ = ["ScheduleOptions", "order_tasks", "task_is_domain_local"]
+__all__ = ["ScheduleOptions", "order_tasks", "task_is_domain_local",
+           "defer_suspected"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,33 @@ def task_is_domain_local(machine: Machine, rank: int, task: BlockTask) -> bool:
     """True when both operand patches live in ``rank``'s shared-memory domain."""
     return (machine.same_domain(rank, task.a_owner)
             and machine.same_domain(rank, task.b_owner))
+
+
+def defer_suspected(tasks: Sequence[BlockTask], machine: Machine,
+                    rank: int) -> list[BlockTask]:
+    """Stable-partition a recovery task list so tasks with an operand on a
+    *suspected* node run last.
+
+    While the detector is still making up its mind about a peer, fetching
+    from it risks riding the full retry ladder; work whose operands live
+    on unsuspected nodes fills the pipeline instead.  Suspicion is judged
+    from ``rank``'s own (possibly stale) membership view; without a
+    detector this is the identity ordering.
+    """
+    out = list(tasks)
+    membership = machine.membership
+    if membership is None or not out:
+        return out
+    node = machine.node_of(rank)
+    clear: list[BlockTask] = []
+    deferred: list[BlockTask] = []
+    for t in out:
+        if (membership.sees_suspected(node, machine.node_of(t.a_owner))
+                or membership.sees_suspected(node, machine.node_of(t.b_owner))):
+            deferred.append(t)
+        else:
+            clear.append(t)
+    return clear + deferred
 
 
 def order_tasks(tasks: Sequence[BlockTask], machine: Machine, rank: int,

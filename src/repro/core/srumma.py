@@ -35,14 +35,15 @@ import numpy as np
 
 from ..comm.armci import _section_segments
 from ..comm.base import (GetFailedError, NodeCrashedError, RankContext,
-                         Request, WaitTimeout)
+                         Request, WaitTimeout, supervised_yield)
 from ..distarray.abft import checksums_match, verify_cost
 from ..distarray.distribution import Block2D
 from ..distarray.global_array import GlobalArray
 from ..machines.spec import MachineSpec
 from ..sim.cluster import Machine
 from .recovery import board_for, build_assignment, plan_operands
-from .schedule import ScheduleOptions, order_tasks, task_is_domain_local
+from .schedule import (ScheduleOptions, defer_suspected, order_tasks,
+                       task_is_domain_local)
 from .tasks import BlockTask, build_tasks
 
 __all__ = ["SrummaOptions", "srumma_rank", "resolve_flavor", "RankStats"]
@@ -131,6 +132,18 @@ class RankStats:
     checkpoints: int = 0
     """C-block checkpoints this rank shipped to its buddy (crash plans
     only; the free load-time checkpoint 0 is not counted)."""
+    suspected: int = 0
+    """Times the failure detector suspected this rank's node (imperfect
+    detection only).  Zero without a detector."""
+    false_suspicions: int = 0
+    """Suspicions of this rank's node that a late heartbeat cleared."""
+    stale_epoch_rejected: int = 0
+    """C write-backs for this rank's block rejected by the membership
+    epoch fence — duplicate work from a false confirmation, absorbed."""
+    stalls_diagnosed: int = 0
+    """Silent livelocks the progress watchdog converted into diagnosed
+    :class:`~repro.sim.engine.StallError` (normally the run then aborts,
+    so a returned RankStats carries zero here)."""
 
 
 class _Operand:
@@ -269,7 +282,18 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     stats.tasks = len(tasks)
     stats.local_tasks = local_tasks
 
-    c_local = c.local() if real else None
+    membership = ctx.machine.membership
+    detection_on = membership is not None
+    # With imperfect detection this rank may be falsely confirmed dead and
+    # its block claimed by recovery while it is still computing.  The block
+    # is therefore computed in a *private* copy and published at the end
+    # through the membership epoch fence (duplicate-safe commit); without a
+    # detector the segment is written in place, exactly as before.
+    if real:
+        c_local = c.local().copy() if detection_on else c.local()
+    else:
+        c_local = None
+    start_gen = membership.generation(ctx.rank) if detection_on else 0
     r_lo, _ = dist_c.row_range(coords[0])
     c_lo, _ = dist_c.col_range(coords[1])
 
@@ -312,6 +336,9 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
     injector = ctx.machine.faults
     abft_on = injector is not None and injector.plan.corruption_rate > 0.0
     crash_on = injector is not None and injector.has_crashes
+    # With a detector, false suspicions alone can trigger recovery: the
+    # checkpoint/board machinery runs even when no crash is planned.
+    recovery_on = crash_on or detection_on
     reissue_info: dict[Request, tuple] = {}
     superseded: dict[Request, Request] = {}
 
@@ -439,6 +466,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                                           segments=op.segments, reliable=rel)
 
         cpu_flops = ctx.machine.spec.cpu.flops
+        my_node = ctx.machine.node_of(ctx.rank)
 
         def wait_requests(reqs):
             """Wait with bounded retry: failed gets are re-issued with
@@ -462,11 +490,20 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                         # bounding the reliable fallback would break its
                         # cannot-fail guarantee (and livelock when the
                         # timeout is shorter than a panel transfer): the
-                        # fallback waits unbounded.  Node death still fails
-                        # it promptly via the crash sweep.
-                        yield from req.wait(
-                            timeout=None if reliable_issued
-                            else fault_plan.get_timeout)
+                        # fallback waits unbounded in simulated time, but
+                        # *supervised* — a fallback aimed at a target that
+                        # can never answer surfaces as a diagnosed
+                        # StallError instead of hanging the run.  Node
+                        # death still fails it promptly via the crash sweep.
+                        if reliable_issued:
+                            yield from supervised_yield(
+                                ctx.machine, req.done,
+                                what=(f"rank {ctx.rank} in reliable-fallback "
+                                      f"wait on {req.kind or 'get'} of "
+                                      f"{req.nbytes:.0f}B"))
+                        else:
+                            yield from req.wait(
+                                timeout=fault_plan.get_timeout)
                     except (GetFailedError, WaitTimeout, NodeCrashedError):
                         ctx.tracer.account(ctx.rank, "comm_wait",
                                            ctx.now - t0)
@@ -524,17 +561,29 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                             stats.corruptions_repaired += corrupt_pending
                         break
                     key, op, ga, buf = reissue_info.pop(req)
-                    if attempt < fault_plan.max_retries:
+                    # Suspicion is not confirmation: while our membership
+                    # view merely *suspects* the owner's node, hold at the
+                    # current retry rung instead of burning an attempt
+                    # toward the fallback — the detector will resolve it
+                    # (a heartbeat clears the suspicion, or confirmation
+                    # reroutes the re-issue to a replica).
+                    suspected_only = (
+                        detection_on and not reliable_issued
+                        and membership.sees_suspected(
+                            my_node, ctx.machine.node_of(op.owner)))
+                    if attempt < fault_plan.max_retries or suspected_only:
                         ctx.tracer.bump("fault:get_retry")
                         rel = False
-                        delay = fault_plan.backoff(attempt)
+                        delay = fault_plan.backoff(
+                            min(attempt, fault_plan.max_retries))
                         if delay > 0:
                             yield ctx.engine.timeout(delay)
                     else:
                         ctx.tracer.bump("fault:get_fallback")
                         rel = True
                         reliable_issued = True
-                    attempt += 1
+                    if not suspected_only:
+                        attempt += 1
                     stats.retries += 1
                     recovered = True
                     new_req = _reissue(op, ga, buf, rel)
@@ -563,7 +612,7 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
             yield from ctx.dgemm_flops(m, n, kk, remote_uncached=penalty)
 
     # ----- crash tolerance: checkpointing + recovery --------------------------
-    if crash_on:
+    if recovery_on:
         board = board_for(ctx.machine)
         buddy = (ctx.rank + ctx.machine.spec.cpus_per_node) % ctx.nranks
         my_shape = dist_c.block_shape(*coords)
@@ -600,6 +649,10 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
             d_coords = dist_c.coords_of(d)
             d_tasks = board.dead_plans[d]
             rec_tasks = [d_tasks[ti] for ti in task_indices]
+            # Operands on merely-suspected nodes go last: by the time the
+            # pipeline reaches them the detector has usually made up its
+            # mind (identity ordering without a detector).
+            rec_tasks = defer_suspected(rec_tasks, ctx.machine, ctx.rank)
             rec_plans = tuple(
                 plan_operands(ctx.machine, ctx.rank, flavor, t,
                               dist_a, dist_b) for t in rec_tasks)
@@ -638,7 +691,26 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
             while True:
                 req = ctx.armci.nb_put_bytes(
                     d, float(d_shape[0] * d_shape[1] * itemsize))
-                if real:
+                if real and detection_on:
+                    # Duplicate-safe landing: accumulate into the shared
+                    # recovery staging copy and refresh the segment
+                    # wholesale through the epoch fence, stamped with the
+                    # claim generation — so the presumed-dead owner's own
+                    # late commit (older stamp) is rejected, and a retried
+                    # put re-applies the same staged array idempotently.
+                    stamp = board.claim_epoch.get(d, 0)
+
+                    def _land(ev, d=d, part=partial, stamp=stamp):
+                        if not ev.ok:
+                            return
+                        staged = board.staging.get(d)
+                        if staged is None:
+                            staged = board.staging[d] = np.zeros(
+                                part.shape, dtype=part.dtype)
+                        staged += part
+                        c.fenced_write_block(d, staged, stamp)
+                    req.done.add_callback(_land)
+                elif real:
                     seg = ctx.armci._rt.segment(d, c._key)
 
                     def _land(ev, seg=seg, part=partial):
@@ -652,25 +724,76 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                     continue
                 break
 
+        def commit_own_block():
+            """Epoch-fenced publication of this rank's finished C block.
+
+            With imperfect detection the block was computed in a private
+            copy; one self-put (loopback through the node memory system)
+            models the commit, and the landing write is admitted only if
+            no recovery claim fenced this block in the meantime — the
+            duplicate-safety half of the protocol.  A rejected commit is
+            harmless by construction: recovery already owns the block.
+            """
+            req = ctx.armci.nb_put_bytes(ctx.rank, ckpt_nbytes)
+            issued_requests.append(req)
+            try:
+                yield from req.wait()
+            except NodeCrashedError:
+                return  # our own node died under us; nothing to publish
+            if real:
+                c.fenced_write_block(ctx.rank, c_local, start_gen)
+            else:
+                membership.admit_write(ctx.rank, start_gen)
+
         def recover_crashed():
             """Survivor side of the recovery protocol (see core/recovery.py)."""
             machine = ctx.machine
-            dead = [r for r in range(dist_c.nranks)
-                    if machine.rank_is_dead(r)]
-            if dead:
-                if board.assignment is None:
-                    def restore(d: int) -> None:
-                        if real:
-                            snap = board.snapshots.get(d)
-                            if snap is not None:
-                                ctx.armci._rt.segment(d, c._key)[...] = snap
 
-                    build_assignment(
-                        machine, board, dead, dist_c.nranks, restore,
-                        lambda d: _build_plan(
-                            machine, d, dist_c.coords_of(d), dist_a, dist_b,
-                            dist_c, transa, transb, flavor,
-                            options.schedule)[0])
+            def believed_dead():
+                if detection_on:
+                    # sees_confirmed, not presumed_dead: confirmation is
+                    # *sticky* — a rejoined node is a transfer target
+                    # again, but its rank processes stay written off, so
+                    # their C blocks still need recovery.  Node-mates are
+                    # never believed dead (their liveness is directly
+                    # observable through shared memory), nor is self.
+                    return [r for r in range(dist_c.nranks)
+                            if not machine.same_node(ctx.rank, r)
+                            and membership.sees_confirmed(
+                                my_node, machine.node_of(r))]
+                return [r for r in range(dist_c.nranks)
+                        if machine.rank_is_dead(r)]
+
+            if detection_on:
+                # Don't leave recovery while the detector is undecided: an
+                # open suspicion resolves within confirm_grace — either a
+                # heartbeat clears it or confirmation hands us a share.
+                while (membership.views[my_node].suspected
+                       and board.assignment is None):
+                    yield ctx.engine.timeout(injector.plan.detector.period)
+            dead = believed_dead()
+            if dead and board.assignment is None:
+                def restore(d: int) -> None:
+                    if not real:
+                        return
+                    snap = board.snapshots.get(d)
+                    if snap is not None:
+                        ctx.armci._rt.segment(d, c._key)[...] = snap
+                    if detection_on:
+                        # Seed the shared staging copy recovery partials
+                        # accumulate into (duplicate-safe write-back).
+                        board.staging[d] = np.array(
+                            ctx.armci._rt.segment(d, c._key), copy=True)
+
+                build_assignment(
+                    machine, board, dead, dist_c.nranks, restore,
+                    lambda d: _build_plan(
+                        machine, d, dist_c.coords_of(d), dist_a, dist_b,
+                        dist_c, transa, transb, flavor,
+                        options.schedule)[0])
+            if board.assignment is not None:
+                # Execute our share even if our own (lagging) view has not
+                # yet confirmed anyone: the assignment is authoritative.
                 share = board.assignment.get(ctx.rank, ())
                 by_dead: dict[int, list[int]] = {}
                 for d, ti in share:
@@ -714,11 +837,24 @@ def srumma_rank(ctx: RankContext, a: MatrixArg, b: MatrixArg, c: MatrixArg,
                 yield from wait_requests(reqs)
             yield from run_dgemm(i, arrays)
 
-    if crash_on:
-        # Own block done: flip to survivor duty and pick up any work a
+    if recovery_on:
+        # Own block done: publish it (epoch-fenced under imperfect
+        # detection), then flip to survivor duty and pick up any work a
         # crashed rank left behind (no-op when nothing has crashed).
         board.finished.add(ctx.rank)
+        if detection_on:
+            yield from commit_own_block()
         yield from recover_crashed()
+
+    if detection_on:
+        stats.suspected = membership.suspect_counts.get(
+            ctx.machine.node_of(ctx.rank), 0)
+        stats.false_suspicions = membership.false_suspicion_counts.get(
+            ctx.machine.node_of(ctx.rank), 0)
+        stats.stale_epoch_rejected = membership.rejected_counts.get(
+            ctx.rank, 0)
+    if ctx.machine.watchdog is not None:
+        stats.stalls_diagnosed = ctx.machine.watchdog.stalls
 
     stats.comm_time += sum(r.duration or 0.0 for r in issued_requests)
     return stats

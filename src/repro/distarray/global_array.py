@@ -113,6 +113,32 @@ class GlobalArray:
         if sl is not None:
             self.local()[...] = global_matrix[sl]
 
+    def fenced_write_block(self, rank: int, data: np.ndarray,
+                           stamp: int) -> bool:
+        """Epoch-fenced wholesale write-back of ``rank``'s block.
+
+        The landing half of a completed C-block put: applies ``data`` to
+        ``rank``'s segment *iff* the membership epoch fence admits the
+        stamp.  A stale stamp — the writer's ownership generation predates
+        a recovery claim on this block — is rejected here at the distarray
+        layer and counted (``fault:stale_epoch_rejected``), which is what
+        makes duplicate work from false suspicions harmless: the
+        presumed-dead owner's late commit cannot clobber the recovered
+        block.  Without a membership subsystem every write is admitted.
+
+        Wholesale (not ``+=``) so a retried put is idempotent: re-applying
+        the same staged array yields the same segment contents.
+        """
+        membership = self.ctx.machine.membership
+        if membership is not None and not membership.admit_write(rank, stamp):
+            return False
+        seg = self.ctx.armci._rt.segment(rank, self._key)
+        if seg.shape != data.shape:
+            raise CommError(
+                f"fenced write shape mismatch: {data.shape} vs {seg.shape}")
+        seg[...] = data
+        return True
+
     # -- patch addressing ---------------------------------------------------------
     def patch_owner(self, rows: tuple[int, int], cols: tuple[int, int]) -> int:
         """Rank owning the patch ``[r0,r1) x [c0,c1)``; must be one block."""

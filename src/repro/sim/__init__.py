@@ -14,36 +14,49 @@ Public surface:
 - :class:`~repro.sim.trace.Tracer` — time accounting and event logs.
 - :class:`~repro.sim.faults.FaultPlan`,
   :class:`~repro.sim.faults.FaultInjector` — deterministic fault injection
-  (brownouts, outages, stragglers, seeded RMA get failures).
+  (brownouts, outages, stragglers, crashes, partitions, rejoins, seeded
+  RMA get failures) plus the heartbeat failure detector.
+- :class:`~repro.sim.membership.Membership` — the cluster's imperfect
+  failure knowledge (suspicion, confirmation, epochs) when a detector is
+  configured.
 """
 
-from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .engine import (
+    AllOf, AnyOf, Engine, Event, Interrupt, Process, ProgressWatchdog,
+    SimulationError, StallError, Timeout,
+)
 from .network import Flow, FlowNetwork, Link
 from .resources import Mailbox, Resource, TokenBucket
 from .cluster import Machine, Node
 from .interference import InterferencePattern, spawn_daemons
 from .faults import (
+    DetectorConfig,
     FaultInjector,
     FaultPlan,
     LinkBrownout,
+    NetworkPartition,
     NicOutage,
     NodeCrash,
+    NodeRejoin,
     StragglerWindow,
     install_faults,
     standard_degraded_plan,
     unit_uniform,
 )
+from .membership import Membership
 from .trace import TimeBuckets, TraceEvent, Tracer
 
 __all__ = [
     "AllOf", "AnyOf", "Engine", "Event", "Interrupt", "Process",
-    "SimulationError", "Timeout",
+    "ProgressWatchdog", "SimulationError", "StallError", "Timeout",
     "Flow", "FlowNetwork", "Link",
     "Mailbox", "Resource", "TokenBucket",
     "Machine", "Node",
     "InterferencePattern", "spawn_daemons",
-    "FaultInjector", "FaultPlan", "LinkBrownout", "NicOutage", "NodeCrash",
+    "DetectorConfig", "FaultInjector", "FaultPlan", "LinkBrownout",
+    "NetworkPartition", "NicOutage", "NodeCrash", "NodeRejoin",
     "StragglerWindow", "install_faults", "standard_degraded_plan",
     "unit_uniform",
+    "Membership",
     "TimeBuckets", "TraceEvent", "Tracer",
 ]

@@ -83,6 +83,11 @@ class Machine:
         self.dead_nodes: set[int] = set()
         self._crash_listeners: list = []
         self._crash_base_bw: dict[int, tuple[float, float, float]] = {}
+        # Failure-detection state, installed by install_faults when the
+        # plan carries a DetectorConfig / watchdog_grace.  None keeps every
+        # caller on the oracle code path (exact pre-detection behaviour).
+        self.membership = None  # repro.sim.membership.Membership
+        self.watchdog = None    # repro.sim.engine.ProgressWatchdog
 
         cpn = spec.cpus_per_node
         nnodes = spec.nodes_for(nranks)
@@ -130,6 +135,14 @@ class Machine:
             return 1
         return len(self.nodes)
 
+    def domain_leader(self, domain: int) -> int:
+        """The leader rank of a shared-memory domain (lowest rank).
+
+        The hierarchical algorithm's leader tier and membership
+        dissemination both address domains through this rank.
+        """
+        return self.ranks_in_domain(domain)[0]
+
     def cpu(self, rank: int) -> Resource:
         """The CPU resource owned by ``rank``."""
         node = self.nodes[self.node_of(rank)]
@@ -166,8 +179,17 @@ class Machine:
 
     def transfer(self, nbytes: float, path: Sequence[Link], latency: float = 0.0,
                  label: str = "") -> Event:
-        """Start a flow on the machine's network; returns its completion event."""
-        return self.net.transfer(nbytes, path, latency=latency, label=label)
+        """Start a flow on the machine's network; returns its completion event.
+
+        Completions feed the progress watchdog when one is armed.  (The
+        detector's heartbeat/dissemination flows deliberately bypass this
+        method: a stalled computation with a live heartbeat plane must
+        still be diagnosed as a stall.)
+        """
+        ev = self.net.transfer(nbytes, path, latency=latency, label=label)
+        if self.watchdog is not None:
+            ev.add_callback(self.watchdog.beat)
+        return ev
 
     def cpu_busy(self, rank: int, seconds: float):
         """Occupy simulated time for CPU work ``rank`` performs *now*.
@@ -184,6 +206,8 @@ class Machine:
             return seconds
         wall = faults.wall_time(rank, self.engine.now, seconds)
         yield self.engine.timeout(wall)
+        if self.watchdog is not None:
+            self.watchdog.beat()
         return wall
 
     # -- hard node failure ---------------------------------------------------
@@ -235,6 +259,35 @@ class Machine:
         """True when ``rank`` lives on a node that has hard-failed."""
         return bool(self.dead_nodes) and self.node_of(rank) in self.dead_nodes
 
+    def presumed_dead(self, caller: int, target: int) -> bool:
+        """Does ``caller`` *believe* ``target``'s node is gone?
+
+        Without a detector this is the oracle truth (`rank_is_dead`) —
+        exactly the PR 5 behaviour.  With one it is ``caller``'s possibly
+        stale, possibly wrong membership view: a confirmed-dead node is
+        routed around even if it is actually alive (false suspicion), and
+        a dead node keeps receiving traffic until detection catches up.
+        """
+        if self.membership is None:
+            return bool(self.dead_nodes) and self.node_of(target) in self.dead_nodes
+        return self.membership.sees_unreachable(
+            self.node_of(caller), self.node_of(target))
+
+    def notify_confirmed(self, node: int) -> None:
+        """Membership confirmed ``node`` dead: act on that *belief*.
+
+        If the node really crashed, the crash listeners fire now — at
+        detection time, not the oracle kill instant — failing in-flight
+        transfers and releasing robust waits.  If the confirmation is
+        false (partitioned-but-alive node), nothing is swept: its traffic
+        is slow, not lost, and must be left to complete after heal.
+        Listeners are idempotent, so a listener that already ran for this
+        node is a no-op.
+        """
+        if node in self.dead_nodes:
+            for fn in list(self._crash_listeners):
+                fn(node)
+
     def replica_of(self, rank: int, spread: int = 0) -> int:
         """A live rank standing in for ``rank``'s data after a crash.
 
@@ -248,13 +301,29 @@ class Machine:
         node-by-node (``+cpus_per_node`` mod nranks) from the selected
         start to the first rank on a live node.
         """
-        if not self.rank_is_dead(rank):
+        return self._replica_walk(rank, spread, self.rank_is_dead)
+
+    def replica_for(self, caller: int, rank: int, spread: int = 0) -> int:
+        """Like :meth:`replica_of`, but judged by ``caller``'s belief.
+
+        With no detector installed this is oracle :meth:`replica_of`.
+        With one, the walk skips nodes ``caller`` presumes dead — so a
+        falsely-confirmed node's data is served from replicas, and a
+        rejoined node is a valid replica home again.
+        """
+        if self.membership is None:
+            return self._replica_walk(rank, spread, self.rank_is_dead)
+        return self._replica_walk(
+            rank, spread, lambda r: self.presumed_dead(caller, r))
+
+    def _replica_walk(self, rank: int, spread: int, is_dead) -> int:
+        if not is_dead(rank):
             return rank
         cpn = self.spec.cpus_per_node
         r = (rank + cpn * (spread % len(self.nodes))) % self.nranks
         for _ in range(len(self.nodes)):
             r = (r + cpn) % self.nranks
-            if not self.rank_is_dead(r):
+            if not is_dead(r):
                 return r
         raise RuntimeError("no live node remains to serve replicas")
 

@@ -50,11 +50,93 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "StallError",
+    "ProgressWatchdog",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the engine (double-triggering events, etc.)."""
+
+
+class StallError(SimulationError):
+    """A supervised wait saw no simulation progress for a full grace window.
+
+    Raised by :meth:`ProgressWatchdog.supervised_wait` instead of letting a
+    livelocked wait (e.g. a reliable-fallback get whose target link crawls
+    at residual bandwidth forever) spin silently until ``max_steps``.  The
+    message carries the blocked wait's label and, when the watchdog was
+    given a ``describe`` hook, a per-rank blocked-state dump.
+    """
+
+    def __init__(self, what: str, grace: float, details: list[str]):
+        self.what = what
+        self.grace = grace
+        self.details = list(details)
+        dump = ("; ".join(self.details)) if self.details else "<no rank dump>"
+        super().__init__(
+            f"stall diagnosed: {what or 'wait'} made no progress and nothing "
+            f"else in the simulation completed for {grace:g}s — {dump}")
+
+
+class ProgressWatchdog:
+    """Engine-level progress monitor backing the supervised waits.
+
+    ``beat()`` is called by the machine layers whenever *semantic* progress
+    happens (a transfer delivered, a CPU busy period retired).  A
+    supervised wait races its event against a ``grace`` timeout; if the
+    timeout fires **and** no beat landed anywhere in the machine during the
+    window, the wait is livelocked — every rank is spinning or crawling —
+    and a diagnosed :class:`StallError` replaces the silent hang.
+
+    The watchdog never cancels the supervised event: a reliable-fallback
+    transfer must stay in flight (cancelling it would break its cannot-fail
+    guarantee); the watchdog only bounds how long the simulation may sit
+    with *zero* global progress before failing loudly.
+    """
+
+    def __init__(self, engine: "Engine", grace: float,
+                 describe: Optional[Callable[[], list[str]]] = None,
+                 tracer: Any = None):
+        if grace <= 0:
+            raise ValueError(f"watchdog grace must be positive, got {grace}")
+        self.engine = engine
+        self.grace = float(grace)
+        self.describe = describe
+        self.tracer = tracer
+        self.beats = 0
+        self.stalls = 0
+
+    def beat(self, _ev: Any = None) -> None:
+        """Record one unit of machine progress (usable as an event callback)."""
+        self.beats += 1
+
+    def supervised_wait(self, event: Event, what: str = "") -> Generator:
+        """Wait on ``event`` under stall supervision (generator).
+
+        Returns the event's value; re-raises its failure.  Raises
+        :class:`StallError` if a full grace window passes with the event
+        still pending and zero beats machine-wide.
+        """
+        engine = self.engine
+        while True:
+            seen = self.beats
+            # AnyOf fails fast, so a failing event raises here directly.
+            yield engine.any_of([event, engine.timeout(self.grace)])
+            if event.triggered:
+                if not event.ok:
+                    raise event.value
+                return event.value
+            if self.beats == seen:
+                raise self.diagnose(what)
+
+    def diagnose(self, what: str = "") -> StallError:
+        """Build (and count) the stall diagnosis without raising it."""
+        self.stalls += 1
+        if self.tracer is not None:
+            self.tracer.bump("engine:stalls_diagnosed")
+        details = self.describe() if self.describe is not None else []
+        return StallError(what, self.grace, details)
 
 
 class Interrupt(Exception):

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from .engine import Interrupt, Process
+from .engine import Interrupt, Process, ProgressWatchdog
+from .membership import ALIVE, SUSPECTED, Membership
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import Machine
@@ -52,6 +54,9 @@ __all__ = [
     "NicOutage",
     "StragglerWindow",
     "NodeCrash",
+    "NetworkPartition",
+    "NodeRejoin",
+    "DetectorConfig",
     "FaultPlan",
     "FaultInjector",
     "install_faults",
@@ -171,6 +176,109 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class NetworkPartition:
+    """A link-set cut: the listed nodes lose the network, *nobody dies*.
+
+    The nodes' NIC links drop to ``residual`` bandwidth from ``t_start``
+    and heal at ``t_heal``.  On this NIC-level topology that isolates the
+    listed nodes from the rest of the machine (and from each other);
+    intra-node memory traffic is untouched, so the nodes' ranks keep
+    computing.  Unlike a crash nothing is swept: in-flight transfers
+    crawl through the residual and complete after heal.  Under a failure
+    detector a long enough partition manufactures *false* suspicions —
+    the canonical imperfect-detection scenario.
+    """
+
+    nodes: tuple[int, ...]
+    t_start: float
+    t_heal: float
+    residual: float = 1e-4
+
+    def __post_init__(self):
+        _check_window("partition", self.t_start, self.t_heal)
+        if not self.nodes:
+            raise ValueError("partition needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"partition lists a node twice: {self.nodes}")
+        if not (0.0 < self.residual <= 1.0):
+            raise ValueError(
+                f"partition residual must be in (0, 1], got {self.residual}")
+
+
+@dataclass(frozen=True)
+class NodeRejoin:
+    """A crashed node's hardware returns at ``t_rejoin`` as a *fresh* node.
+
+    The ranks that lived on it never come back (their work was
+    reassigned); what rejoins is capacity — the node becomes a valid
+    checkpoint-replica and transfer target again.  Requires a detector:
+    the rejoin is observed through resumed heartbeats and bumps the
+    membership epoch, so write-backs fenced before the rejoin stay
+    rejected.  The matching :class:`NodeCrash` must not set
+    ``t_recover`` (rejoin supersedes it).
+    """
+
+    node: int
+    t_rejoin: float
+
+    def __post_init__(self):
+        if self.t_rejoin <= 0:
+            raise ValueError(
+                f"rejoin t_rejoin must be positive, got {self.t_rejoin}")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Failure-detector knobs: heartbeats, suspicion, confirmation.
+
+    Every node sends a ``heartbeat_bytes`` flow to the monitor (the node-0
+    leader) every ``period`` simulated seconds.  The monitor suspects a
+    node when its silence exceeds the detector's bound — a fixed
+    ``timeout`` in ``"timeout"`` mode, or an adaptive phi-accrual bound in
+    ``"phi"`` mode (``phi = silence / (mean_interarrival * ln 10)``
+    against ``phi_threshold``, so congestion that slows *everyone's*
+    heartbeats raises the bar instead of firing it).  A suspected node
+    that stays silent ``confirm_grace`` longer is confirmed dead; a
+    heartbeat arriving first clears the (false) suspicion.  Every
+    transition is disseminated to all node leaders as real flows, so
+    views disagree transiently.
+    """
+
+    mode: str = "timeout"
+    period: float = 0.002
+    timeout: float = 0.01
+    confirm_grace: float = 0.005
+    phi_threshold: float = 8.0
+    heartbeat_bytes: float = 64.0
+    dissemination_bytes: float = 64.0
+    heartbeat_loss_prob: float = 0.0
+    """Per-heartbeat seeded drop probability (per-node splitmix64 stream)
+    — the false-positive-rate knob for the detection experiment."""
+
+    def __post_init__(self):
+        if self.mode not in ("timeout", "phi"):
+            raise ValueError(f"unknown detector mode {self.mode!r}")
+        if self.period <= 0:
+            raise ValueError(f"detector period must be positive, got {self.period}")
+        if self.timeout <= self.period:
+            raise ValueError(
+                f"detector timeout {self.timeout} must exceed the heartbeat "
+                f"period {self.period}")
+        if self.confirm_grace < 0:
+            raise ValueError(
+                f"confirm_grace must be >= 0, got {self.confirm_grace}")
+        if self.phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be positive, got {self.phi_threshold}")
+        if self.heartbeat_bytes <= 0 or self.dissemination_bytes <= 0:
+            raise ValueError("heartbeat/dissemination bytes must be positive")
+        if not (0.0 <= self.heartbeat_loss_prob < 1.0):
+            raise ValueError(
+                f"heartbeat_loss_prob must be in [0, 1), got "
+                f"{self.heartbeat_loss_prob}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, deterministic description of injected degradation.
 
@@ -218,6 +326,18 @@ class FaultPlan:
     """Tasks between in-simulation C-block checkpoints when a crash plan
     is active (lower = less re-execution after a crash, more put traffic)."""
 
+    partitions: tuple[NetworkPartition, ...] = ()
+    rejoins: tuple[NodeRejoin, ...] = ()
+
+    detector: Optional[DetectorConfig] = None
+    """None = oracle failure knowledge (exact PR 5 behaviour); a config
+    replaces it with heartbeat-driven suspicion/confirmation."""
+
+    watchdog_grace: Optional[float] = None
+    """Arm the engine progress watchdog: a supervised wait that sees no
+    simulation progress at all for this many simulated seconds raises a
+    diagnosed StallError instead of hanging (None = no watchdog)."""
+
     def __post_init__(self):
         if not (0.0 <= self.get_fail_prob <= 1.0):
             raise ValueError(f"get_fail_prob must be in [0, 1], got {self.get_fail_prob}")
@@ -237,11 +357,54 @@ class FaultPlan:
         if self.checkpoint_interval < 1:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}")
+        if self.watchdog_grace is not None and self.watchdog_grace <= 0:
+            raise ValueError(
+                f"watchdog_grace must be positive, got {self.watchdog_grace}")
         seen_crash_nodes = set()
         for c in self.crashes:
             if c.node in seen_crash_nodes:
                 raise ValueError(f"node {c.node} crashes more than once")
             seen_crash_nodes.add(c.node)
+        for p in self.partitions:
+            clash = set(p.nodes) & seen_crash_nodes
+            if clash:
+                raise ValueError(
+                    f"node(s) {sorted(clash)} appear in both a partition and "
+                    f"a crash — partition models link loss without death")
+        seen_rejoin_nodes = set()
+        for rj in self.rejoins:
+            if self.detector is None:
+                raise ValueError(
+                    "node rejoin requires a detector: the rejoin is observed "
+                    "through resumed heartbeats and bumps the membership epoch")
+            if rj.node in seen_rejoin_nodes:
+                raise ValueError(f"node {rj.node} rejoins more than once")
+            seen_rejoin_nodes.add(rj.node)
+            match = [c for c in self.crashes if c.node == rj.node]
+            if not match:
+                raise ValueError(
+                    f"rejoin node {rj.node} has no matching crash")
+            crash = match[0]
+            if crash.t_recover is not None:
+                raise ValueError(
+                    f"rejoin node {rj.node} also sets crash t_recover — "
+                    f"rejoin supersedes it; drop t_recover")
+            if rj.t_rejoin <= crash.t_fail:
+                raise ValueError(
+                    f"rejoin at {rj.t_rejoin} must follow the node's crash "
+                    f"at {crash.t_fail}")
+        if self.detector is not None:
+            # The monitor hosts the detector; losing it would mean electing
+            # a new one, which this model does not simulate.
+            if 0 in seen_crash_nodes:
+                raise ValueError(
+                    "the monitor node (0) cannot crash while a detector is "
+                    "configured")
+            for p in self.partitions:
+                if 0 in p.nodes:
+                    raise ValueError(
+                        "the monitor node (0) cannot be partitioned while a "
+                        "detector is configured")
         # Straggler windows on one rank must not overlap: the piecewise
         # wall-time walk assumes at most one active slowdown per rank.
         by_rank: dict[int, list[StragglerWindow]] = {}
@@ -261,6 +424,9 @@ class FaultPlan:
         """True when the plan injects nothing at all."""
         return (not self.brownouts and not self.outages
                 and not self.stragglers and not self.crashes
+                and not self.partitions and not self.rejoins
+                and self.detector is None
+                and self.watchdog_grace is None
                 and self.get_fail_prob == 0.0
                 and self.corruption_rate == 0.0)
 
@@ -278,6 +444,14 @@ class FaultPlan:
             parts.append(f"{len(self.stragglers)} straggler(s)")
         if self.crashes:
             parts.append(f"{len(self.crashes)} crash(es)")
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partition(s)")
+        if self.rejoins:
+            parts.append(f"{len(self.rejoins)} rejoin(s)")
+        if self.detector is not None:
+            parts.append(f"detector={self.detector.mode}")
+        if self.watchdog_grace is not None:
+            parts.append(f"watchdog={self.watchdog_grace:g}s")
         if self.get_fail_prob > 0:
             parts.append(f"get_fail_prob={self.get_fail_prob:g}")
         if self.corruption_rate > 0:
@@ -291,6 +465,12 @@ class FaultPlan:
             "outages": [dataclasses.asdict(o) for o in self.outages],
             "stragglers": [dataclasses.asdict(s) for s in self.stragglers],
             "crashes": [dataclasses.asdict(c) for c in self.crashes],
+            "partitions": [{**dataclasses.asdict(p), "nodes": list(p.nodes)}
+                           for p in self.partitions],
+            "rejoins": [dataclasses.asdict(rj) for rj in self.rejoins],
+            "detector": (None if self.detector is None
+                         else dataclasses.asdict(self.detector)),
+            "watchdog_grace": self.watchdog_grace,
             "get_fail_prob": self.get_fail_prob,
             "seed": self.seed,
             "max_retries": self.max_retries,
@@ -302,6 +482,25 @@ class FaultPlan:
             "checkpoint_interval": self.checkpoint_interval,
         }
 
+    @staticmethod
+    def _nested(cls_, blob, what: str):
+        """Build a nested plan dataclass, rejecting unknown keys clearly
+        (a bare ``cls(**blob)`` would raise an opaque TypeError)."""
+        if not isinstance(blob, dict):
+            raise ValueError(f"a {what} must be a JSON object, got "
+                             f"{type(blob).__name__}")
+        known = {f.name for f in dataclasses.fields(cls_)}
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(f"unknown {what} fields: {sorted(unknown)}")
+        kwargs = dict(blob)
+        if cls_ is NetworkPartition and "nodes" in kwargs:
+            if not isinstance(kwargs["nodes"], (list, tuple)):
+                raise ValueError(f"partition nodes must be a list, got "
+                                 f"{type(kwargs['nodes']).__name__}")
+            kwargs["nodes"] = tuple(kwargs["nodes"])
+        return cls_(**kwargs)
+
     @classmethod
     def from_json_dict(cls, blob: dict) -> "FaultPlan":
         if not isinstance(blob, dict):
@@ -312,13 +511,26 @@ class FaultPlan:
             raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
         kwargs = dict(blob)
         kwargs["brownouts"] = tuple(
-            LinkBrownout(**b) for b in blob.get("brownouts", ()))
+            cls._nested(LinkBrownout, b, "brownout")
+            for b in blob.get("brownouts", ()))
         kwargs["outages"] = tuple(
-            NicOutage(**o) for o in blob.get("outages", ()))
+            cls._nested(NicOutage, o, "outage")
+            for o in blob.get("outages", ()))
         kwargs["stragglers"] = tuple(
-            StragglerWindow(**s) for s in blob.get("stragglers", ()))
+            cls._nested(StragglerWindow, s, "straggler")
+            for s in blob.get("stragglers", ()))
         kwargs["crashes"] = tuple(
-            NodeCrash(**c) for c in blob.get("crashes", ()))
+            cls._nested(NodeCrash, c, "crash")
+            for c in blob.get("crashes", ()))
+        kwargs["partitions"] = tuple(
+            cls._nested(NetworkPartition, p, "partition")
+            for p in blob.get("partitions", ()))
+        kwargs["rejoins"] = tuple(
+            cls._nested(NodeRejoin, rj, "rejoin")
+            for rj in blob.get("rejoins", ()))
+        det = blob.get("detector")
+        kwargs["detector"] = (None if det is None
+                              else cls._nested(DetectorConfig, det, "detector"))
         return cls(**kwargs)
 
     def save(self, path: os.PathLike) -> None:
@@ -387,12 +599,30 @@ class FaultInjector:
         for c in plan.crashes:
             if not (0 <= c.node < nnodes):
                 raise ValueError(f"crash node {c.node} out of range [0, {nnodes})")
+        for p in plan.partitions:
+            for node in p.nodes:
+                if not (0 <= node < nnodes):
+                    raise ValueError(
+                        f"partition node {node} out of range [0, {nnodes})")
+            if len(set(p.nodes)) >= nnodes:
+                raise ValueError("a partition must leave at least one node "
+                                 "on the majority side")
+        for rj in plan.rejoins:
+            if not (0 <= rj.node < nnodes):
+                raise ValueError(f"rejoin node {rj.node} out of range [0, {nnodes})")
         for s in plan.stragglers:
             machine._check_rank(s.rank)
         if plan.crashes and len({c.node for c in plan.crashes}) >= nnodes:
             raise ValueError("a crash plan must leave at least one node alive")
         self.machine = machine
         self.plan = plan
+        # Detector bookkeeping (monitor side), populated when a detector
+        # is configured: last heartbeat-arrival instant and a short window
+        # of recent inter-arrival intervals per node (for phi mode), plus
+        # the instant each current suspicion was raised.
+        self._hb_last: dict[int, float] = {}
+        self._hb_intervals: dict[int, list[float]] = {}
+        self._suspected_at: dict[int, float] = {}
         # Per-(kind, rank) draw counters: each rank consumes its own
         # splitmix64 stream, so adding draws on one rank never perturbs
         # another rank's failure sequence (stable under --jobs reordering
@@ -432,11 +662,29 @@ class FaultInjector:
         for i, c in enumerate(self.plan.crashes):
             procs.append(engine.spawn(
                 self._crash(c), name=f"fault-crash{i}@node{c.node}"))
+        for i, p in enumerate(self.plan.partitions):
+            procs.append(engine.spawn(
+                self._partition(p), name=f"fault-partition{i}"))
+        for i, rj in enumerate(self.plan.rejoins):
+            procs.append(engine.spawn(
+                self._rejoin(rj), name=f"fault-rejoin{i}@node{rj.node}"))
+        if self.plan.detector is not None:
+            monitor = self.machine.membership.monitor_node
+            for node in range(len(self.machine.nodes)):
+                if node == monitor:
+                    continue
+                procs.append(engine.spawn(
+                    self._heartbeat(node), name=f"fault-heartbeat@node{node}"))
+            procs.append(engine.spawn(self._monitor(), name="fault-monitor"))
         return procs
 
     @property
     def has_crashes(self) -> bool:
         return bool(self.plan.crashes)
+
+    @property
+    def has_detection(self) -> bool:
+        return self.plan.detector is not None
 
     def _crash(self, crash: NodeCrash):
         engine = self.machine.engine
@@ -454,6 +702,197 @@ class FaultInjector:
             return  # run ended before recovery; the node stays dead
         self.machine.revive_node(crash.node)
         self.machine.tracer.bump("fault:node_recover")
+
+    def _partition(self, part: NetworkPartition):
+        """Cut the listed nodes' NICs to residual; heal on schedule.
+
+        Reuses the multiplicative window machinery (`_apply`/`_clear`), so
+        a partition composes with brownouts/outages and restores exact
+        base bandwidth when the last window closes.  Never touches
+        ``dead_nodes`` or the crash listeners: nothing is swept, ranks
+        keep computing, and in-flight transfers crawl through the
+        residual until heal.
+        """
+        engine = self.machine.engine
+        links: list["Link"] = []
+        for node in part.nodes:
+            links.extend(self._nic_links(node, "both"))
+        try:
+            yield engine.timeout(part.t_start - engine.now)
+        except Interrupt:
+            return  # run ended before the cut
+        for link in links:
+            self._apply(link, part.residual)
+        self.machine.tracer.bump("fault:partition")
+        healed = False
+        try:
+            yield engine.timeout(part.t_heal - part.t_start)
+            healed = True
+        except Interrupt:
+            pass  # run ended mid-partition; still restore below
+        finally:
+            for link in links:
+                self._clear(link, part.residual)
+        if healed:
+            self.machine.tracer.bump("fault:partition_healed")
+
+    def _rejoin(self, rejoin: NodeRejoin):
+        """Bring a crashed node's hardware back at ``t_rejoin``.
+
+        Only the links revive here; the membership transition (and its
+        epoch bump) happens when the monitor hears the node's *resumed
+        heartbeats* — rejoin is detected the same imperfect way death is.
+        """
+        engine = self.machine.engine
+        try:
+            yield engine.timeout(rejoin.t_rejoin - engine.now)
+        except Interrupt:
+            return  # run ended before the rejoin
+        if not self.machine.node_is_dead(rejoin.node):
+            return  # the crash never fired (run ended first)
+        self.machine.revive_node(rejoin.node)
+        self.machine.tracer.bump("fault:node_recover")
+
+    # -- failure detector ----------------------------------------------------
+    def _hb_path(self, src_node: int, dst_node: int):
+        """The link path a heartbeat/dissemination flow crosses; flows go
+        leader-to-leader (first rank of each node, the leader tier)."""
+        cpn = self.machine.spec.cpus_per_node
+        return self.machine.network_path(src_node * cpn, dst_node * cpn)
+
+    def _heartbeat(self, node: int):
+        """Daemon: ``node``'s leader sends a heartbeat flow every period.
+
+        Fire-and-forget — the sender never blocks on delivery, so a
+        partitioned node keeps emitting heartbeats that crawl through the
+        residual bandwidth and arrive (very) late.  Flows bypass
+        ``Machine.transfer`` so they never feed the progress watchdog: a
+        stalled computation with a healthy heartbeat plane is still a
+        stall.
+        """
+        machine = self.machine
+        det = self.plan.detector
+        monitor = machine.membership.monitor_node
+        lat = machine.spec.network.latency
+        while True:
+            try:
+                yield machine.engine.timeout(det.period)
+            except Interrupt:
+                return  # run ended
+            if machine.node_is_dead(node):
+                continue  # dead hardware is silent (resumes after rejoin)
+            if self._draw(self._HBLOSS_KIND, node, det.heartbeat_loss_prob):
+                machine.tracer.bump("fault:heartbeat_lost")
+                continue
+            ev = machine.net.transfer(
+                det.heartbeat_bytes, self._hb_path(node, monitor),
+                latency=lat, label=f"heartbeat node{node}")
+            ev.add_callback(
+                lambda _ev, node=node: self._hb_arrived(node)
+                if _ev.ok else None)
+
+    def _hb_arrived(self, node: int) -> None:
+        """Monitor-side heartbeat arrival: record it, undo false states."""
+        machine = self.machine
+        membership = machine.membership
+        now = machine.engine.now
+        last = self._hb_last.get(node)
+        if last is not None:
+            window = self._hb_intervals.setdefault(node, [])
+            window.append(now - last)
+            if len(window) > 16:
+                del window[0]
+        self._hb_last[node] = now
+        if membership.clear_suspicion(node):
+            # The node spoke while suspected: the suspicion was false.
+            self._suspected_at.pop(node, None)
+            self._disseminate()
+        elif membership.rejoin(node):
+            # A confirmed-dead node spoke: it is back (really rejoined, or
+            # falsely confirmed and now healed) — fresh capacity, new epoch.
+            self._disseminate()
+
+    def _silence_bound(self, node: int) -> float:
+        """Silence (seconds since last heartbeat) that triggers suspicion."""
+        det = self.plan.detector
+        if det.mode == "timeout":
+            return det.timeout
+        # Phi-accrual with an exponential inter-arrival model:
+        # phi(t) = t_silence / (mean_interarrival * ln 10); suspicion at
+        # phi >= threshold.  Congestion that slows everyone's heartbeats
+        # grows the observed mean and raises the bound instead of firing.
+        window = self._hb_intervals.get(node)
+        mean = (sum(window) / len(window)) if window else det.period
+        return max(det.phi_threshold * mean * math.log(10.0),
+                   2.0 * det.period)
+
+    def _monitor(self):
+        """Daemon: the node-0 leader's detector sweep, one pass per period.
+
+        alive -> suspected when silence exceeds the detector bound;
+        suspected -> confirmed-dead after ``confirm_grace`` more seconds
+        without an arrival (arrivals clear suspicion asynchronously via
+        :meth:`_hb_arrived`).  Every transition re-disseminates the map.
+        """
+        machine = self.machine
+        membership = machine.membership
+        det = self.plan.detector
+        monitor = membership.monitor_node
+        engine = machine.engine
+        while True:
+            try:
+                yield engine.timeout(det.period)
+            except Interrupt:
+                return  # run ended
+            now = engine.now
+            changed = False
+            for node in range(len(machine.nodes)):
+                if node == monitor:
+                    continue
+                silence = now - self._hb_last.get(node, 0.0)
+                state = membership.state.get(node)
+                if state == ALIVE:
+                    if silence > self._silence_bound(node):
+                        if membership.suspect(node):
+                            self._suspected_at[node] = now
+                            changed = True
+                elif state == SUSPECTED:
+                    held = now - self._suspected_at.get(node, now)
+                    if held >= det.confirm_grace:
+                        if membership.confirm(node):
+                            self._suspected_at.pop(node, None)
+                            # Act on the belief (sweep in-flight work) only
+                            # if the node actually died — see
+                            # Machine.notify_confirmed.
+                            machine.notify_confirmed(node)
+                            changed = True
+            if changed:
+                self._disseminate()
+
+    def _disseminate(self) -> None:
+        """Push the monitor's membership map to every node leader.
+
+        The monitor's own view updates instantly; every other leader gets
+        a real flow, so views lag by network latency (much more for a
+        partitioned observer) and ranks disagree transiently.  Delivery
+        is version-monotone, so reordered updates cannot roll back.
+        """
+        machine = self.machine
+        membership = machine.membership
+        det = self.plan.detector
+        monitor = membership.monitor_node
+        payload = membership.snapshot()
+        membership.deliver(monitor, payload)
+        lat = machine.spec.network.latency
+        for node in range(len(machine.nodes)):
+            if node == monitor or machine.node_is_dead(node):
+                continue
+            ev = machine.net.transfer(
+                det.dissemination_bytes, self._hb_path(monitor, node),
+                latency=lat, label=f"membership node{node}")
+            ev.add_callback(
+                lambda _ev, node=node, payload=payload:
+                membership.deliver(node, payload) if _ev.ok else None)
 
     def _nic_links(self, node: int, direction: str) -> list["Link"]:
         n = self.machine.nodes[node]
@@ -502,6 +941,7 @@ class FaultInjector:
     # -- seeded get failures & corruptions ---------------------------------
     _GET_FAIL_KIND = 0xFA11
     _CORRUPT_KIND = 0xC0DE
+    _HBLOSS_KIND = 0x4EA7  # heartbeat-drop stream, keyed per *node*
 
     def _draw(self, kind: int, rank: int, p: float) -> bool:
         """One seeded draw from ``rank``'s private ``kind`` stream.
@@ -567,9 +1007,20 @@ class FaultInjector:
 
 
 def install_faults(machine: "Machine", plan: FaultPlan) -> FaultInjector:
-    """Attach a plan to a machine; hooks activate via ``machine.faults``."""
+    """Attach a plan to a machine; hooks activate via ``machine.faults``.
+
+    A detector config also installs a :class:`~repro.sim.membership.Membership`
+    on the machine (switching every failure-knowledge query from the
+    oracle to heartbeat-driven views), and ``watchdog_grace`` arms the
+    engine :class:`~repro.sim.engine.ProgressWatchdog`.
+    """
     if machine.faults is not None:
         raise ValueError("machine already has a fault plan installed")
     injector = FaultInjector(machine, plan)
     machine.faults = injector
+    if plan.detector is not None:
+        machine.membership = Membership(machine)
+    if plan.watchdog_grace is not None:
+        machine.watchdog = ProgressWatchdog(
+            machine.engine, plan.watchdog_grace, tracer=machine.tracer)
     return injector

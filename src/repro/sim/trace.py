@@ -76,15 +76,23 @@ class Tracer:
         self.counters[counter] += n
 
     def health(self) -> dict[str, int]:
-        """Fault-injection health counters (the ``fault:*`` namespace).
+        """Health counters: the ``fault:*`` namespace plus the watchdog's
+        ``engine:stalls_diagnosed``.
 
-        Populated only when a fault plan is active: injected get failures,
-        retries, reliable-protocol fallbacks, and window activations.  An
-        empty dict therefore certifies a run saw no fault machinery at all.
+        Populated only when fault machinery is active: injected get
+        failures, retries, reliable-protocol fallbacks, window
+        activations, and — with a failure detector installed —
+        suspicion/confirmation transitions, epoch-fence rejections, and
+        watchdog-diagnosed stalls.  The always-on engine-mode counters
+        (``engine:ff_jumps`` etc.) stay out, so an empty dict still
+        certifies a run saw no fault machinery at all.
         """
-        prefix = "fault:"
-        return {name[len(prefix):]: val for name, val in self.counters.items()
-                if name.startswith(prefix)}
+        out = {name[len("fault:"):]: val
+               for name, val in self.counters.items()
+               if name.startswith("fault:")}
+        if "engine:stalls_diagnosed" in self.counters:
+            out["stalls_diagnosed"] = self.counters["engine:stalls_diagnosed"]
+        return out
 
     def buckets(self, rank: int) -> TimeBuckets:
         return self._buckets[rank]

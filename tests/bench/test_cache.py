@@ -81,13 +81,18 @@ def test_key_distinguishes_faulty_from_healthy():
 
 def _plan_variants():
     from repro.sim.faults import (
+        DetectorConfig,
         FaultPlan,
         LinkBrownout,
+        NetworkPartition,
         NicOutage,
+        NodeCrash,
+        NodeRejoin,
         StragglerWindow,
     )
 
     base = FaultPlan(get_fail_prob=0.1, seed=1)
+    det = DetectorConfig()
     return base, [
         dataclasses.replace(base, brownouts=(LinkBrownout(0, 0.1, 0.2, 0.5),)),
         dataclasses.replace(base, outages=(NicOutage(1, 0.1, 0.2),)),
@@ -99,6 +104,15 @@ def _plan_variants():
         dataclasses.replace(base, backoff_factor=3.0),
         dataclasses.replace(base, detect_timeout=1e-3),
         dataclasses.replace(base, get_timeout=0.5),
+        dataclasses.replace(base, partitions=(
+            NetworkPartition(nodes=(1,), t_start=0.1, t_heal=0.2),)),
+        dataclasses.replace(base, detector=det),
+        dataclasses.replace(base, detector=dataclasses.replace(
+            det, heartbeat_loss_prob=0.1)),
+        dataclasses.replace(base, detector=det,
+                            crashes=(NodeCrash(node=1, t_fail=0.5),),
+                            rejoins=(NodeRejoin(node=1, t_rejoin=1.0),)),
+        dataclasses.replace(base, watchdog_grace=5.0),
     ]
 
 
@@ -134,10 +148,11 @@ def test_golden_key_is_stable_across_sessions_and_python_versions():
         memory=MemorySpec(copy_bandwidth=1e9),
     )
     spec = PointSpec("srumma", golden_machine, 16, 2000, seed=3)
-    # Golden for schema v3 (v1: 6f64d7d1..., v2: f0c2fb1f...; the crash /
-    # corruption FaultPlan fields and the schema bump moved it).
+    # Golden for schema v4 (v1: 6f64d7d1..., v2: f0c2fb1f..., v3:
+    # 7f1d3cd2...; the failure-detection FaultPlan fields and the schema
+    # bump moved it).
     assert point_key(spec) == (
-        "7f1d3cd25ee10f11af6d684404e422f81960be1237058011f95190cf76bf4d27")
+        "0949f0b4f84888e478afcf57a0a3d36cac778a2f5dd1c92e20b78bb01d97e648")
 
 
 def test_canonical_spec_renders_floats_as_hex():

@@ -8,7 +8,8 @@ from repro.cli import main
 
 def test_registry_covers_every_figure_and_table():
     expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "table1", "diag-shift", "resilience", "crash", "comm-bound"}
+                "table1", "diag-shift", "resilience", "crash", "detection",
+                "comm-bound"}
     assert expected == set(EXPERIMENTS)
 
 

@@ -17,10 +17,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import (
+    DetectorConfig,
     FaultPlan,
     LinkBrownout,
+    NetworkPartition,
     NicOutage,
     NodeCrash,
+    NodeRejoin,
     StragglerWindow,
 )
 
@@ -66,24 +69,75 @@ def _stragglers(draw):
 
 
 @st.composite
-def _crashes(draw):
+def _crashes(draw, min_node=0):
     t_fail = draw(_pos)
     recover = draw(st.one_of(st.none(), _pos))
-    return NodeCrash(node=draw(st.integers(0, 7)), t_fail=t_fail,
+    return NodeCrash(node=draw(st.integers(min_node, 7)), t_fail=t_fail,
                      t_recover=None if recover is None else t_fail + recover,
                      residual=draw(st.floats(min_value=1e-6, max_value=1.0,
                                              allow_nan=False)))
 
 
 @st.composite
+def _partitions(draw):
+    # Nodes 8-15: disjoint from the crash pool (0-7) so the partition/crash
+    # clash validation cannot fire, and never the monitor node 0.
+    t0, t1 = draw(_windows())
+    nodes = draw(st.lists(st.integers(8, 15), min_size=1, max_size=3,
+                          unique=True))
+    return NetworkPartition(nodes=tuple(nodes), t_start=t0, t_heal=t1,
+                            residual=draw(st.floats(min_value=1e-6,
+                                                    max_value=1.0,
+                                                    allow_nan=False)))
+
+
+@st.composite
+def _detectors(draw):
+    period = draw(st.floats(min_value=1e-4, max_value=0.1, allow_nan=False))
+    return DetectorConfig(
+        mode=draw(st.sampled_from(("timeout", "phi"))),
+        period=period,
+        timeout=period + draw(_pos),
+        confirm_grace=draw(st.floats(min_value=0.0, max_value=1.0,
+                                     allow_nan=False)),
+        phi_threshold=draw(st.floats(min_value=0.1, max_value=32.0,
+                                     allow_nan=False)),
+        heartbeat_bytes=draw(st.floats(min_value=1.0, max_value=4096.0,
+                                       allow_nan=False)),
+        dissemination_bytes=draw(st.floats(min_value=1.0, max_value=4096.0,
+                                           allow_nan=False)),
+        heartbeat_loss_prob=draw(st.floats(min_value=0.0, max_value=0.5,
+                                           allow_nan=False)))
+
+
+@st.composite
 def _plans(draw):
     stragglers = {w.rank: w for w in draw(st.lists(_stragglers(), max_size=3))}
-    crashes = {c.node: c for c in draw(st.lists(_crashes(), max_size=3))}
+    detector = draw(st.one_of(st.none(), _detectors()))
+    # With a detector the monitor node 0 may not crash; rejoins require a
+    # detector plus a matching crash that never set t_recover.
+    crashes = {c.node: c
+               for c in draw(st.lists(
+                   _crashes(min_node=1 if detector is not None else 0),
+                   max_size=3))}
+    rejoins = ()
+    if detector is not None:
+        rejoinable = sorted(
+            (c for c in crashes.values() if c.t_recover is None),
+            key=lambda c: c.node)
+        picked = [c for c in rejoinable if draw(st.booleans())]
+        rejoins = tuple(NodeRejoin(node=c.node,
+                                   t_rejoin=c.t_fail + draw(_pos))
+                        for c in picked)
     return FaultPlan(
         brownouts=tuple(draw(st.lists(_brownouts(), max_size=3))),
         outages=tuple(draw(st.lists(_outages(), max_size=3))),
         stragglers=tuple(stragglers.values()),
         crashes=tuple(crashes.values()),
+        partitions=tuple(draw(st.lists(_partitions(), max_size=2))),
+        rejoins=rejoins,
+        detector=detector,
+        watchdog_grace=draw(st.one_of(st.none(), _pos)),
         get_fail_prob=draw(_frac),
         corruption_rate=draw(_frac),
         seed=draw(st.integers(0, 2**63 - 1)),
@@ -128,6 +182,23 @@ class TestRoundTrip:
         assert blob["checkpoint_interval"] == 2
         assert FaultPlan.from_json_dict(blob) == plan
 
+    def test_detection_fields_hit_the_wire(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash(node=2, t_fail=1.0),),
+            partitions=(NetworkPartition(nodes=(3, 4), t_start=0.5,
+                                         t_heal=2.0),),
+            rejoins=(NodeRejoin(node=2, t_rejoin=3.0),),
+            detector=DetectorConfig(period=0.002, timeout=0.01,
+                                    confirm_grace=0.005,
+                                    heartbeat_loss_prob=0.1),
+            watchdog_grace=5.0)
+        blob = plan.to_json_dict()
+        assert blob["partitions"][0]["nodes"] == [3, 4]
+        assert blob["rejoins"] == [{"node": 2, "t_rejoin": 3.0}]
+        assert blob["detector"]["heartbeat_loss_prob"] == 0.1
+        assert blob["watchdog_grace"] == 5.0
+        assert FaultPlan.from_json_dict(blob) == plan
+
     def test_save_load_file(self, tmp_path):
         plan = FaultPlan(crashes=(NodeCrash(node=1, t_fail=2.0,
                                             t_recover=3.0),),
@@ -155,6 +226,36 @@ class TestCorruptBlobs:
                          "slowdown": 1.5},
                         {"rank": 0, "t_start": 1.0, "t_end": 3.0,
                          "slowdown": 2.0}]},       # overlapping windows
+        {"partitions": [{"nodes": [], "t_start": 0.0,
+                         "t_heal": 1.0}]},         # empty partition
+        {"partitions": [{"nodes": [1, 1], "t_start": 0.0,
+                         "t_heal": 1.0}]},         # node listed twice
+        {"partitions": [{"nodes": [1], "t_start": 1.0,
+                         "t_heal": 0.5}]},         # heals before it starts
+        {"partitions": [{"nodes": [1], "t_start": 0.0, "t_heal": 1.0,
+                         "bogus": 1}]},            # unknown partition key
+        {"crashes": [{"node": 1, "t_fail": 0.5}],
+         "partitions": [{"nodes": [1], "t_start": 0.0,
+                         "t_heal": 1.0}]},         # partitioned AND crashed
+        {"rejoins": [{"node": 1, "t_rejoin": 1.0}]},  # rejoin sans detector
+        {"detector": {}, "rejoins": [
+            {"node": 1, "t_rejoin": 1.0}]},        # rejoin with no crash
+        {"detector": {}, "crashes": [{"node": 1, "t_fail": 2.0}],
+         "rejoins": [{"node": 1, "t_rejoin": 1.0}]},  # rejoins before crash
+        {"detector": {}, "crashes": [
+            {"node": 1, "t_fail": 1.0, "t_recover": 2.0}],
+         "rejoins": [{"node": 1, "t_rejoin": 3.0}]},  # rejoin + t_recover
+        {"detector": {"mode": "psychic"}},         # unknown detector mode
+        {"detector": {"period": 0.01,
+                      "timeout": 0.005}},          # timeout under period
+        {"detector": {"heartbeat_loss_prob": 1.0}},   # certain loss
+        {"detector": {"bogus_knob": 1}},           # unknown detector key
+        {"detector": {},
+         "crashes": [{"node": 0, "t_fail": 1.0}]},    # monitor crashes
+        {"detector": {}, "partitions": [
+            {"nodes": [0], "t_start": 0.0,
+             "t_heal": 1.0}]},                     # monitor partitioned
+        {"watchdog_grace": 0.0},                   # out of range
     ])
     def test_rejected_with_value_error(self, blob):
         with pytest.raises((ValueError, TypeError)):

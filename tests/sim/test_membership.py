@@ -1,0 +1,307 @@
+"""Failure detection and membership: suspicion, confirmation, fencing.
+
+Two layers under test (protocol narrative in ``docs/resilience.md``):
+
+- the :class:`Membership` state machine itself — monitor-side
+  transitions, monotone view dissemination, the sticky confirmed set,
+  and the epoch fence that makes duplicate recovery write-backs safe;
+- full SRUMMA runs where the *only* failure knowledge is heartbeats:
+  a real crash must be detected (not oracle-revealed) and recovered,
+  a partitioned-but-alive node must survive a false confirmation with
+  the product still correct (its stale write-backs fenced off), and a
+  never-healing partition under a watchdog must surface a diagnosed
+  :class:`StallError` instead of a silent hang.
+"""
+
+import pytest
+
+from repro.bench.parallel import PointSpec, run_points
+from repro.core.api import srumma_multiply
+from repro.core.srumma import SrummaOptions
+from repro.machines import LINUX_MYRINET
+from repro.sim.engine import StallError
+from repro.sim.faults import (
+    DetectorConfig,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+    NodeRejoin,
+)
+from repro.sim.membership import ALIVE, DEAD, REJOINED, SUSPECTED, Membership
+from repro.sim.trace import Tracer
+
+N, P = 96, 4  # 2 nodes on the 2-CPU-per-node Linux cluster
+
+
+class _FakeMachine:
+    """Just enough Machine for unit-testing the state machine."""
+
+    def __init__(self, nnodes=4):
+        self.nodes = list(range(nnodes))
+        self.tracer = Tracer()
+
+
+class TestStateMachine:
+    def test_lifecycle_alive_suspected_dead_rejoined(self):
+        m = Membership(_FakeMachine())
+        assert m.state[1] == ALIVE
+        assert m.suspect(1) and m.state[1] == SUSPECTED
+        assert m.confirm(1) and m.state[1] == DEAD
+        assert m.rejoin(1) and m.state[1] == REJOINED
+
+    def test_illegal_transitions_are_noops(self):
+        m = Membership(_FakeMachine())
+        assert not m.confirm(1)          # never suspected
+        assert not m.rejoin(1)           # never confirmed
+        assert not m.clear_suspicion(1)  # nothing to clear
+        m.suspect(1)
+        assert not m.suspect(1)          # already suspected
+        v = m.version
+        assert m.state[1] == SUSPECTED and m.version == v
+
+    def test_false_suspicion_clears_and_counts(self):
+        fake = _FakeMachine()
+        m = Membership(fake)
+        m.suspect(2)
+        assert m.clear_suspicion(2) and m.state[2] == ALIVE
+        assert m.false_suspicion_counts[2] == 1
+        assert fake.tracer.counters["fault:false_suspicions"] == 1
+
+    def test_confirm_and_rejoin_each_bump_the_epoch(self):
+        m = Membership(_FakeMachine())
+        assert m.epoch == 0
+        m.suspect(1), m.confirm(1)
+        assert m.epoch == 1
+        m.rejoin(1)
+        assert m.epoch == 2
+
+    def test_dissemination_is_version_monotone(self):
+        m = Membership(_FakeMachine())
+        m.suspect(1)
+        old = m.snapshot()
+        m.confirm(1)
+        new = m.snapshot()
+        m.deliver(2, new)
+        m.deliver(2, old)  # reordered older message must not roll back
+        assert m.sees_confirmed(2, 1)
+        assert not m.sees_suspected(2, 1)
+
+    def test_views_lag_until_delivery(self):
+        m = Membership(_FakeMachine())
+        m.suspect(1), m.confirm(1)
+        assert not m.sees_confirmed(3, 1)  # node 3 never got the news
+        m.deliver(3, m.snapshot())
+        assert m.sees_confirmed(3, 1)
+
+    def test_confirmed_is_sticky_through_rejoin_unreachable_is_not(self):
+        m = Membership(_FakeMachine())
+        m.suspect(1), m.confirm(1)
+        m.deliver(2, m.snapshot())
+        assert m.sees_unreachable(2, 1)
+        m.rejoin(1)
+        m.deliver(2, m.snapshot())
+        assert m.sees_confirmed(2, 1)       # its ranks stay written off
+        assert not m.sees_unreachable(2, 1)  # but transfers may target it
+
+    def test_fence_claim_is_idempotent_and_rejects_stale_stamps(self):
+        fake = _FakeMachine()
+        m = Membership(fake)
+        m.suspect(1), m.confirm(1)  # epoch 1
+        assert m.claim(5) == 1
+        assert m.claim(5) == 1       # second claim: same fence
+        assert m.generation(5) == 1
+        assert m.admit_write(5, 1)   # recovery's stamp passes
+        assert not m.admit_write(5, 0)  # original owner's stale commit
+        assert m.rejected_counts[5] == 1
+        assert fake.tracer.counters["fault:stale_epoch_rejected"] == 1
+        assert m.fenced_ranks() == [5]
+
+    def test_unfenced_ranks_admit_generation_zero(self):
+        m = Membership(_FakeMachine())
+        assert m.generation(3) == 0
+        assert m.admit_write(3, 0)  # nobody claimed it; owner commits fine
+
+
+def _run(faults=None, **kw):
+    kw.setdefault("payload", "real")
+    kw.setdefault("verify", True)
+    kw.setdefault("options", SrummaOptions(dynamic=True))
+    return srumma_multiply(LINUX_MYRINET, P, N, N, N, faults=faults, **kw)
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    return _run()
+
+
+def _detector(e, **kw):
+    kw.setdefault("period", 0.05 * e)
+    kw.setdefault("timeout", 0.2 * e)
+    kw.setdefault("confirm_grace", 0.1 * e)
+    return DetectorConfig(**kw)
+
+
+def _false_suspicion_plan(e):
+    # Partition node 1 long enough for the monitor to suspect AND confirm
+    # it even though every rank on it keeps computing — the canonical
+    # imperfect-detection scenario.  get_timeout matters: without it the
+    # survivors would ride out the crawling partition links forever and
+    # recovery would never engage.
+    return FaultPlan(
+        partitions=(NetworkPartition(nodes=(1,), t_start=0.3 * e,
+                                     t_heal=0.9 * e),),
+        detector=_detector(e),
+        watchdog_grace=50 * e,
+        checkpoint_interval=1,
+        get_timeout=0.1 * e,
+        backoff_base=0.02 * e)
+
+
+def _detected_crash_plan(e, **kw):
+    kw.setdefault("checkpoint_interval", 1)
+    kw.setdefault("get_timeout", 0.05 * e)
+    kw.setdefault("backoff_base", 0.01 * e)
+    det = kw.pop("detector", _detector(e, period=0.02 * e,
+                                       confirm_grace=0.05 * e))
+    return FaultPlan(crashes=(NodeCrash(node=1, t_fail=0.5 * e),),
+                     detector=det, **kw)
+
+
+class TestDetectedCrash:
+    def test_healthy_run_with_detector_sees_no_suspicions(self, healthy):
+        res = _run(FaultPlan(detector=_detector(healthy.elapsed)))
+        assert res.max_error is not None and res.max_error < 1e-10
+        health = res.run.tracer.health()
+        assert health["suspected"] == 0
+        assert health["false_suspicions"] == 0
+        assert health["stale_epoch_rejected"] == 0
+
+    def test_crash_is_detected_and_recovered_without_oracle(self, healthy):
+        res = _run(_detected_crash_plan(healthy.elapsed))
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert res.stats[2] is None and res.stats[3] is None
+        health = res.run.tracer.health()
+        assert health["suspected"] >= 1
+        assert health["confirmed_dead"] >= 1
+        assert health["recovery_tasks"] > 0
+        # Detection costs time the oracle never paid.
+        assert res.elapsed > healthy.elapsed
+
+    def test_phi_accrual_mode_also_detects(self, healthy):
+        det = _detector(healthy.elapsed, mode="phi", period=0.02 * healthy.elapsed,
+                        confirm_grace=0.05 * healthy.elapsed)
+        res = _run(_detected_crash_plan(healthy.elapsed, detector=det))
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert res.run.tracer.health()["confirmed_dead"] >= 1
+
+    def test_longer_timeout_detects_later(self, healthy):
+        e = healthy.elapsed
+        quick = _run(_detected_crash_plan(
+            e, detector=_detector(e, period=0.02 * e, timeout=0.1 * e,
+                                  confirm_grace=0.02 * e)))
+        slow = _run(_detected_crash_plan(
+            e, detector=_detector(e, period=0.02 * e, timeout=0.6 * e,
+                                  confirm_grace=0.02 * e)))
+        assert quick.elapsed < slow.elapsed
+
+    def test_rejoined_node_comes_back_as_replica_target(self, healthy):
+        e = healthy.elapsed
+        plan = FaultPlan(
+            crashes=(NodeCrash(node=1, t_fail=0.4 * e),),
+            rejoins=(NodeRejoin(node=1, t_rejoin=0.8 * e),),
+            detector=_detector(e, period=0.02 * e, confirm_grace=0.05 * e),
+            checkpoint_interval=1, get_timeout=0.05 * e,
+            backoff_base=0.01 * e)
+        res = _run(plan)
+        assert res.max_error is not None and res.max_error < 1e-10
+        # The ranks never return even though the hardware did.
+        assert res.stats[2] is None and res.stats[3] is None
+        assert res.run.tracer.health()["node_rejoin"] == 1
+
+
+class TestFalseSuspicion:
+    def test_partitioned_node_survives_false_confirmation(self, healthy):
+        res = _run(_false_suspicion_plan(healthy.elapsed))
+        # Nobody actually died: every rank reports, the product verifies,
+        # and the duplicate write-backs were fenced off — the acceptance
+        # scenario for imperfect detection.
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert all(s is not None for s in res.stats)
+        health = res.run.tracer.health()
+        assert health["confirmed_dead"] >= 1   # the false confirmation
+        assert health["stale_epoch_rejected"] > 0
+        assert "node_crash" not in health      # oracle: nobody died
+
+    def test_rank_stats_surface_the_detection_counters(self, healthy):
+        res = _run(_false_suspicion_plan(healthy.elapsed))
+        health = res.run.tracer.health()
+        stats = [s for s in res.stats if s is not None]
+        assert sum(s.stale_epoch_rejected for s in stats) == \
+            health["stale_epoch_rejected"]
+        assert sum(s.suspected for s in stats) >= health["suspected"] > 0
+        assert all(s.stalls_diagnosed == 0 for s in stats)
+
+    def test_partitioned_transfers_survive_and_complete_after_heal(
+            self, healthy):
+        # Satellite: a partitioned-but-alive node's in-flight transfers
+        # must NOT be swept with NodeCrashedError when the detector
+        # falsely confirms it — they crawl through the residual link and
+        # complete after the heal.  A sweep would kill the node's ranks
+        # (None stats) or poison the product; neither may happen.
+        e = healthy.elapsed
+        res = _run(_false_suspicion_plan(e))
+        assert all(s is not None for s in res.stats)
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert res.elapsed > 0.9 * e  # ran past the heal
+
+    def test_partition_without_detector_just_rides_it_out(self, healthy):
+        # No detector, no get_timeout: nothing is suspected, nothing is
+        # swept, the waits ride the crawling links and the run completes
+        # after the heal with zero fault-protocol activity.
+        e = healthy.elapsed
+        res = _run(FaultPlan(partitions=(
+            NetworkPartition(nodes=(1,), t_start=0.3 * e, t_heal=0.9 * e),)))
+        assert res.max_error is not None and res.max_error < 1e-10
+        assert all(s is not None for s in res.stats)
+        health = res.run.tracer.health()
+        assert "node_crash" not in health
+        assert "get_fallback" not in health
+        assert res.elapsed > 0.9 * e
+
+
+class TestStallDiagnosis:
+    def test_never_healing_partition_surfaces_a_diagnosed_stall(
+            self, healthy):
+        # Satellite regression: PR 5's reliable fallback waited unbounded,
+        # so an unreachable-forever target meant a silent hang.  Under the
+        # watchdog the same livelock must surface as a diagnosed
+        # StallError naming the blocked wait.
+        e = healthy.elapsed
+        plan = FaultPlan(
+            partitions=(NetworkPartition(nodes=(1,), t_start=0.3 * e,
+                                         t_heal=1e6),),
+            max_retries=0,            # straight to the reliable fallback
+            get_timeout=0.05 * e,
+            backoff_base=0.01 * e,
+            watchdog_grace=5 * e)
+        with pytest.raises(StallError) as exc:
+            _run(plan)
+        msg = str(exc.value)
+        assert "stall diagnosed" in msg
+        assert "rank" in msg  # the per-rank blocked-state dump made it out
+
+
+class TestDeterminism:
+    def test_detection_run_is_identical_across_jobs(self, healthy):
+        spec = PointSpec("srumma", LINUX_MYRINET, P, N,
+                         options=SrummaOptions(dynamic=True),
+                         faults=_detected_crash_plan(healthy.elapsed))
+        serial = run_points([spec], jobs=1)
+        fanned = run_points([spec, spec], jobs=2)
+        assert serial[0] == fanned[0] == fanned[1]
+
+    def test_false_suspicion_run_is_repeatable(self, healthy):
+        a = _run(_false_suspicion_plan(healthy.elapsed))
+        b = _run(_false_suspicion_plan(healthy.elapsed))
+        assert a.elapsed == b.elapsed
+        assert a.run.tracer.health() == b.run.tracer.health()

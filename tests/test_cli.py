@@ -151,7 +151,7 @@ def test_cache_stats_and_clear(capsys):
     assert main(["cache", "stats"]) == 0
     out = capsys.readouterr().out
     assert "entries         : 4" in out
-    assert "v3-" in out
+    assert "v4-" in out
     assert main(["cache", "clear"]) == 0
     assert "removed 4 cached result(s)" in capsys.readouterr().out
     assert main(["cache", "stats"]) == 0
